@@ -1,0 +1,111 @@
+// Ablations of the paper's design choices, measured on the simulator:
+//
+//  A. CQ merging (Theorem 4.4): evaluate the square's CQ group as one
+//     variable-oriented job vs one job per CQ — measured communication.
+//  B. One round vs two rounds: the Section 2.3 one-round algorithm vs the
+//     two-round algorithm of [19], sweeping graph density. Two rounds ship
+//     2m + #2-paths; one round ships m*b. The crossover the paper's
+//     introduction alludes to appears as density grows.
+//  C. Partition's duplicate work (Section 2.1): how many triangle
+//     discoveries Partition reducers make in total vs the number of
+//     distinct triangles (the ordered-bucket algorithm discovers each
+//     exactly once by construction).
+
+#include <cstdio>
+
+#include "core/subgraph_enumerator.h"
+#include "core/triangle_algorithms.h"
+#include "core/two_round_triangles.h"
+#include "core/variable_oriented.h"
+#include "graph/generators.h"
+#include "serial/two_paths.h"
+#include "shares/cost_expression.h"
+
+namespace smr {
+namespace {
+
+void AblationMerge() {
+  std::printf("A. CQ merging (square, measured kv pairs, same shares)\n");
+  const Graph g = ErdosRenyi(200, 1200, 3);
+  const SubgraphEnumerator enumerator(SampleGraph::Square());
+  const std::vector<int> shares = {2, 3, 4, 3};  // ~72 reducers
+  const auto merged = enumerator.RunVariableOriented(g, shares, 1, nullptr);
+  // Split: one job per CQ, each shipping its own copies of the edges.
+  uint64_t split_pairs = 0;
+  uint64_t split_outputs = 0;
+  for (const auto& cq : enumerator.cqs()) {
+    const std::vector<ConjunctiveQuery> single = {cq};
+    const auto metrics =
+        VariableOrientedEnumerate(SampleGraph::Square(), single, g, shares,
+                                  1, nullptr);
+    split_pairs += metrics.key_value_pairs;
+    split_outputs += metrics.outputs;
+  }
+  std::printf("  combined: %llu kv pairs, %llu squares\n",
+              static_cast<unsigned long long>(merged.key_value_pairs),
+              static_cast<unsigned long long>(merged.outputs));
+  std::printf("  split:    %llu kv pairs, %llu squares (ratio %.2f)\n\n",
+              static_cast<unsigned long long>(split_pairs),
+              static_cast<unsigned long long>(split_outputs),
+              static_cast<double>(split_pairs) / merged.key_value_pairs);
+}
+
+void AblationRounds() {
+  std::printf(
+      "B. one round (Section 2.3, b=8) vs two rounds ([19]) by density\n");
+  std::printf("  %8s %8s %14s %14s %10s\n", "n", "m", "1-round kv",
+              "2-round kv", "winner");
+  for (const auto& [n, m] : std::vector<std::pair<NodeId, size_t>>{
+           {4000, 8000}, {2000, 16000}, {1000, 24000}, {500, 30000}}) {
+    const Graph g = ErdosRenyi(n, m, 7);
+    const auto one = OrderedBucketTriangles(g, 8, 1, nullptr);
+    const auto two = TwoRoundTriangles(g, NodeOrder::ByDegree(g), nullptr);
+    std::printf("  %8u %8zu %14llu %14llu %10s\n", n, m,
+                static_cast<unsigned long long>(one.key_value_pairs),
+                static_cast<unsigned long long>(two.TotalKeyValuePairs()),
+                one.key_value_pairs < two.TotalKeyValuePairs() ? "1-round"
+                                                               : "2-round");
+  }
+  std::printf("\n");
+}
+
+void AblationPartitionDuplicates() {
+  std::printf(
+      "C. duplicate discoveries: Partition reducers see triangles whose\n"
+      "   nodes span < 3 groups several times (extra compensation work);\n"
+      "   ordered buckets discover each exactly once\n");
+  const Graph g = ErdosRenyi(600, 6000, 9);
+  std::printf("  %4s %20s %18s\n", "b", "partition dup rate",
+              "ordered dup rate");
+  for (int b : {4, 8, 16}) {
+    // The reducer kernels count every local triangle discovery in
+    // reduce_cost.outputs (via the serial enumerator) and every *emitted*
+    // triangle once more (via EmitInstance); so
+    //   local discoveries = reduce_cost.outputs - outputs.
+    const auto partition = PartitionTriangles(g, b, 2, nullptr);
+    const auto ordered = OrderedBucketTriangles(g, b, 2, nullptr);
+    const double partition_rate =
+        static_cast<double>(partition.reduce_cost.outputs -
+                            partition.outputs) /
+        static_cast<double>(partition.outputs);
+    const double ordered_rate =
+        static_cast<double>(ordered.reduce_cost.outputs - ordered.outputs) /
+        static_cast<double>(ordered.outputs);
+    std::printf("  %4d %20.3f %18.3f\n", b, partition_rate, ordered_rate);
+  }
+  std::printf(
+      "  (triangles with a same-group edge are re-discovered by every\n"
+      "   Partition triple containing that group pair and must be filtered;\n"
+      "   ordered buckets emit each exactly once and only re-discover the\n"
+      "   small fraction of triangles whose bucket multiset repeats values)\n");
+}
+
+}  // namespace
+}  // namespace smr
+
+int main() {
+  smr::AblationMerge();
+  smr::AblationRounds();
+  smr::AblationPartitionDuplicates();
+  return 0;
+}

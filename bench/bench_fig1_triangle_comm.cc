@@ -1,0 +1,64 @@
+// Reproduces Fig. 1 of the paper: asymptotic communication cost of the
+// three one-round triangle algorithms, as a function of the reducer budget
+// k. For each k we derive each algorithm's bucket count (Partition and
+// Section 2.3: b = cbrt(6k); Section 2.2: b = cbrt(k)), run the algorithm on
+// the simulator, and print measured communication per edge next to the
+// paper's closed forms (3m cbrt(6k)/2, 3m cbrt(k), m cbrt(6k)).
+//
+// Expected shape: ordered-bucket (Section 2.3) cheapest, Partition 1.5x
+// more, multiway join 3/6^{1/3} = 1.65x more.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/triangle_algorithms.h"
+#include "graph/generators.h"
+#include "shares/replication_formulas.h"
+
+namespace smr {
+namespace {
+
+void Run() {
+  const Graph g = ErdosRenyi(2000, 20000, 42);
+  std::printf(
+      "Fig.1: communication cost per edge of the three triangle algorithms\n"
+      "data graph: n=%u m=%zu (Erdos-Renyi)\n\n",
+      g.num_nodes(), g.num_edges());
+  std::printf("%10s | %22s | %22s | %22s\n", "k target",
+              "Partition meas/pred", "multiway meas/pred",
+              "ordered meas/pred");
+  for (const double k : {64.0, 512.0, 4096.0, 32768.0}) {
+    const TriangleAsymptotics predicted = Fig1Asymptotics(k);
+    const int b_partition =
+        std::max(3, static_cast<int>(std::lround(predicted.partition_buckets)));
+    const int b_multiway =
+        std::max(1, static_cast<int>(std::lround(predicted.multiway_buckets)));
+    const int b_ordered =
+        std::max(1, static_cast<int>(std::lround(predicted.ordered_buckets)));
+    const auto partition = PartitionTriangles(g, b_partition, 1, nullptr);
+    const auto multiway = MultiwayJoinTriangles(g, b_multiway, 1, nullptr);
+    const auto ordered = OrderedBucketTriangles(g, b_ordered, 1, nullptr);
+    std::printf("%10.0f | %10.2f / %8.2f | %10.2f / %8.2f | %10.2f / %8.2f\n",
+                k, partition.ReplicationRate(),
+                PartitionTriangleReplication(b_partition),
+                multiway.ReplicationRate(),
+                MultiwayTriangleReplication(b_multiway),
+                ordered.ReplicationRate(),
+                OrderedBucketTriangleReplication(b_ordered));
+  }
+  std::printf(
+      "\nasymptotic ratios vs ordered (paper: Partition 1.50, multiway "
+      "1.65):\n");
+  const TriangleAsymptotics a = Fig1Asymptotics(1e6);
+  std::printf("  Partition/ordered = %.3f, multiway/ordered = %.3f\n",
+              a.partition_cost / a.ordered_cost,
+              a.multiway_cost / a.ordered_cost);
+}
+
+}  // namespace
+}  // namespace smr
+
+int main() {
+  smr::Run();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Section 7.4: output-size bounds for the cyclic 5-way join over
+// binary relations of different sizes. For several size vectors we print
+// the Case-A/B classification, the matching upper/lower bound, and the
+// actual output of the serial join on the witness instances — which should
+// meet the bound (up to integer rounding of domain sizes in Case A).
+
+#include <cstdio>
+
+#include "joins/five_cycle_join.h"
+
+namespace smr {
+namespace {
+
+void RunCase(const JoinSizes& sizes) {
+  const bool case_a = CaseAHolds(sizes);
+  const double bound = JoinOutputBound(sizes);
+  uint64_t witness_output = 0;
+  const char* witness = "-";
+  if (case_a) {
+    witness_output = CountFiveCycleJoin(CaseAWitness(sizes));
+    witness = "A";
+  } else {
+    // The Case-B witness needs the violated condition at rotation 0 with
+    // n2 >= n1*n3 and n4 >= n3*n5 (the paper's subcase (a)); the join is
+    // cyclically symmetric, so rotate until it applies.
+    for (int r = 0; r < 5; ++r) {
+      const JoinSizes rotated = Rotate(sizes, r);
+      if (static_cast<double>(rotated[0]) * rotated[2] * rotated[4] <=
+              static_cast<double>(rotated[1]) * rotated[3] &&
+          rotated[1] >= rotated[0] * rotated[2] &&
+          rotated[3] >= rotated[2] * rotated[4]) {
+        witness_output = CountFiveCycleJoin(CaseBWitness(rotated));
+        witness = "B";
+        break;
+      }
+    }
+  }
+  std::printf("%8llu %8llu %8llu %8llu %8llu | case %s bound=%12.1f "
+              "witness(%s)=%llu\n",
+              static_cast<unsigned long long>(sizes[0]),
+              static_cast<unsigned long long>(sizes[1]),
+              static_cast<unsigned long long>(sizes[2]),
+              static_cast<unsigned long long>(sizes[3]),
+              static_cast<unsigned long long>(sizes[4]),
+              case_a ? "A" : "B", bound, witness,
+              static_cast<unsigned long long>(witness_output));
+}
+
+void Run() {
+  std::printf(
+      "Section 7.4: R1(A,B)|><|R2(B,C)|><|R3(C,D)|><|R4(D,E)|><|R5(E,A)\n"
+      "bounds and witness outputs\n\n");
+  std::printf("%8s %8s %8s %8s %8s |\n", "n1", "n2", "n3", "n4", "n5");
+  // Case A, equal sizes (the classic sqrt(prod) = n^{5/2} bound).
+  RunCase({36, 36, 36, 36, 36});
+  RunCase({100, 100, 100, 100, 100});
+  // Case A, unequal but integral domains.
+  RunCase({4, 8, 16, 8, 4});
+  // Case B: the paper's closing example says (1,n,1,n,1) -> n, but with
+  // those labels the formula (and the max possible output) is 1; the
+  // intended, self-consistent labeling is the rotation (n,1,n,1,n), whose
+  // violated condition sits at attribute B and gives bound n.
+  RunCase({1, 64, 1, 64, 1});
+  RunCase({64, 1, 64, 1, 64});
+  // Case B with larger alternating product.
+  RunCase({3, 6, 2, 8, 4});
+  RunCase({2, 50, 5, 40, 2});
+  std::printf(
+      "\nexpected shape: witness output meets the bound exactly when all\n"
+      "domain sizes are integral, and is slightly below otherwise.\n");
+}
+
+}  // namespace
+}  // namespace smr
+
+int main() {
+  smr::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Extension experiment (Section 8 / Section 1.1): labeled-edge enumeration.
+// Shows the paper's prediction that label-preserving automorphism groups
+// are smaller, so the CQ count grows, while the communication cost of
+// bucket-oriented processing is unchanged (labels ride along with edges).
+
+#include <cstdio>
+#include <set>
+
+#include "cq/cq_generation.h"
+#include "labeled/labeled_enumeration.h"
+#include "util/rng.h"
+
+namespace smr {
+namespace {
+
+LabeledGraph RandomLabeledGraph(NodeId n, size_t m, int num_labels,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledEdge> edges;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  while (edges.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.Below(n));
+    NodeId v = static_cast<NodeId>(rng.Below(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    edges.push_back({u, v, static_cast<EdgeLabel>(rng.Below(num_labels))});
+  }
+  return LabeledGraph(n, std::move(edges));
+}
+
+void Run() {
+  std::printf(
+      "Section 8 extension: labeled edges (relations per label)\n\n"
+      "pattern catalog: 0 = 'knows', 1 = 'buys from'\n\n");
+  struct Case {
+    const char* name;
+    LabeledSampleGraph pattern;
+    size_t unlabeled_cqs;
+  };
+  const Case cases[] = {
+      {"triangle (uniform)",
+       LabeledSampleGraph(3, {{0, 1, 0}, {1, 2, 0}, {0, 2, 0}}),
+       CqsForSample(SampleGraph::Triangle()).size()},
+      {"triangle (one 'buys')",
+       LabeledSampleGraph(3, {{0, 1, 0}, {1, 2, 0}, {0, 2, 1}}),
+       CqsForSample(SampleGraph::Triangle()).size()},
+      {"square (alternating)",
+       LabeledSampleGraph(4, {{0, 1, 0}, {1, 2, 1}, {2, 3, 0}, {0, 3, 1}}),
+       CqsForSample(SampleGraph::Square()).size()},
+      {"square (one 'buys')",
+       LabeledSampleGraph(4, {{0, 1, 1}, {1, 2, 0}, {2, 3, 0}, {0, 3, 0}}),
+       CqsForSample(SampleGraph::Square()).size()},
+  };
+
+  const LabeledGraph g = RandomLabeledGraph(400, 2400, 2, 11);
+  std::printf("data graph: n=%u m=%zu, labels ~ uniform over 2\n\n",
+              g.num_nodes(), g.num_edges());
+  std::printf("%-24s %8s %12s %10s %12s %10s\n", "pattern", "|Aut|",
+              "labeled CQs", "unlabeled", "instances", "repl/edge");
+  for (const auto& c : cases) {
+    const auto cqs = LabeledCqsForSample(c.pattern);
+    const auto metrics =
+        LabeledBucketOrientedEnumerate(c.pattern, g, 4, 3, nullptr);
+    const uint64_t serial =
+        EnumerateLabeledInstances(c.pattern, g, nullptr, nullptr);
+    std::printf("%-24s %8zu %12zu %10zu %12llu %10.1f%s\n", c.name,
+                c.pattern.Automorphisms().size(), cqs.size(), c.unlabeled_cqs,
+                static_cast<unsigned long long>(metrics.outputs),
+                metrics.ReplicationRate(),
+                metrics.outputs == serial ? "" : "  MISMATCH");
+  }
+  std::printf(
+      "\nexpected shape: fewer label-preserving automorphisms => more CQs;\n"
+      "replication stays C(b+p-3, p-2) regardless of labels.\n");
+}
+
+}  // namespace
+}  // namespace smr
+
+int main() {
+  smr::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Google-benchmark microbenchmarks of the library's hot kernels: edge-index
+// probes, serial triangle enumeration, the CQ evaluator, the bucket-oriented
+// map-reduce round, and the share optimizer.
+
+#include <benchmark/benchmark.h>
+
+#include "core/subgraph_enumerator.h"
+#include "cq/cq_evaluator.h"
+#include "cq/cq_generation.h"
+#include "graph/generators.h"
+#include "serial/triangles.h"
+#include "shares/share_optimizer.h"
+
+namespace smr {
+namespace {
+
+void BM_EdgeIndexProbe(benchmark::State& state) {
+  const Graph g = ErdosRenyi(10000, 50000, 1);
+  NodeId u = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.HasEdge(u, u + 17));
+    u = (u + 31) % (g.num_nodes() - 20);
+  }
+}
+BENCHMARK(BM_EdgeIndexProbe);
+
+void BM_SerialTriangles(benchmark::State& state) {
+  const Graph g =
+      ErdosRenyi(static_cast<NodeId>(state.range(0)), 4 * state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SerialTriangles)->Range(1 << 10, 1 << 14)->Complexity();
+
+void BM_CqEvaluatorSquare(benchmark::State& state) {
+  const Graph g = ErdosRenyi(2000, 8000, 3);
+  const auto cqs = CqsForSample(SampleGraph::Square());
+  const CqEvaluator evaluator(g, NodeOrder::Identity(g.num_nodes()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.EvaluateAll(cqs, nullptr, nullptr));
+  }
+}
+BENCHMARK(BM_CqEvaluatorSquare);
+
+void BM_BucketOrientedTriangles(benchmark::State& state) {
+  const Graph g = ErdosRenyi(2000, 10000, 4);
+  const SubgraphEnumerator enumerator(SampleGraph::Triangle());
+  const int b = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        enumerator.RunBucketOriented(g, b, 1, nullptr).outputs);
+  }
+}
+BENCHMARK(BM_BucketOrientedTriangles)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ShareOptimizer(benchmark::State& state) {
+  const auto cqs = CqsForSample(SampleGraph::Cycle(6));
+  const auto expression = CostExpression::ForCqSet(cqs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimizeShares(expression, 500000).cost_per_edge);
+  }
+}
+BENCHMARK(BM_ShareOptimizer);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ErdosRenyi(5000, 25000, state.iterations()).num_edges());
+  }
+}
+BENCHMARK(BM_GraphConstruction);
+
+}  // namespace
+}  // namespace smr
+
+BENCHMARK_MAIN();

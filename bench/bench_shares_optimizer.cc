@@ -1,0 +1,118 @@
+// Reproduces the share-optimization results of Section 4:
+//  * Example 4.1 — single-CQ optimization for the first lollipop CQ
+//    (dominated W, z = y, x = y^2 + y; y=5 point: 750 reducers, 65/edge),
+//  * Theorem 4.1 — regular sample graphs get equal shares k^{1/p},
+//  * Example 4.2 — square CQ-set optimum: x = z, y = 2w, cost 4 sqrt(2k),
+//  * Example 4.3 — C6 at k = 500000 (paper's share point (5,10,...)); note
+//    the optimal cost/edge is 60000, not the paper's stated 50000,
+//  * Examples 4.4/4.5 — Eq.(2)/Eq.(3) closed forms vs the optimizer,
+//  * Theorem 4.4 — combined evaluation beats split evaluation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "cq/cq_generation.h"
+#include "shares/cost_expression.h"
+#include "shares/share_optimizer.h"
+
+namespace smr {
+namespace {
+
+void PrintSolution(const char* label, const ShareSolution& solution) {
+  std::printf("  %-26s cost/edge=%10.3f reducers=%10.1f residual=%.2e\n",
+              label, solution.cost_per_edge, solution.reducers,
+              solution.residual);
+  std::printf("    shares:");
+  for (double s : solution.shares) std::printf(" %.3f", s);
+  std::printf("\n");
+}
+
+void Run() {
+  std::printf("Example 4.1: lollipop CQ E(W,X)&E(X,Y)&E(X,Z)&E(Y,Z)\n");
+  const ConjunctiveQuery lollipop_cq(4, {{0, 1}, {1, 2}, {1, 3}, {2, 3}},
+                                     {{0, 1, 2, 3}});
+  const auto single = CostExpression::ForSingleCq(lollipop_cq);
+  const auto s41 = OptimizeShares(single, 750);
+  PrintSolution("k=750 (paper: 1,30,5,5)", s41);
+  std::printf("    paper's point (1,30,5,5): cost/edge = %.1f (65 expected)\n",
+              single.CostPerEdge(std::vector<double>{1, 30, 5, 5}));
+
+  std::printf("\nTheorem 4.1: regular patterns -> equal shares k^{1/p}\n");
+  for (const auto& pattern :
+       {SampleGraph::Triangle(), SampleGraph::Cycle(5),
+        SampleGraph::Clique(4)}) {
+    const auto cq = GenerateOrderCqs(pattern).front();
+    const auto sol = OptimizeShares(CostExpression::ForSingleCq(cq), 4096);
+    std::printf("  %-28s k^(1/p)=%8.3f shares:", pattern.ToString().c_str(),
+                RegularShare(pattern.num_vars(), 4096));
+    for (double s : sol.shares) std::printf(" %.3f", s);
+    std::printf("\n");
+  }
+
+  std::printf("\nExample 4.2: square CQ set (2 bidirectional edges)\n");
+  const auto square_expr =
+      CostExpression::ForCqSet(CqsForSample(SampleGraph::Square()));
+  std::printf("  expression: %s\n", square_expr.ToString().c_str());
+  const double k42 = 1 << 14;
+  const auto s42 = OptimizeShares(square_expr, k42);
+  PrintSolution("k=2^14", s42);
+  std::printf("    paper 4*sqrt(2k) = %.3f\n", 4 * std::sqrt(2 * k42));
+
+  std::printf("\nExample 4.3: C6, k=500000\n");
+  const auto c6_expr =
+      CostExpression::ForCqSet(CqsForSample(SampleGraph::Cycle(6)));
+  const auto s43 = OptimizeShares(c6_expr, 500000);
+  PrintSolution("k=500000", s43);
+  std::printf(
+      "    paper's share point (5,10,10,10,10,10) also achieves the optimum;"
+      "\n    optimal cost/edge = 60000 => total 6e13 at m=1e9 (the paper's"
+      "\n    stated 5e13 undercounts the unidirectional terms; see"
+      " EXPERIMENTS.md)\n");
+
+  std::printf("\nExamples 4.4/4.5: Eq.(2)/Eq.(3) scenarios vs optimizer\n");
+  {
+    // Eq.(2) scenario on C6: S1={0,1}, S2={2,5}, S3={3,4}.
+    const CostExpression eq2(6, {{2.0, 0, 1},
+                                 {2.0, 1, 2},
+                                 {2.0, 0, 5},
+                                 {1.0, 2, 3},
+                                 {1.0, 3, 4},
+                                 {1.0, 4, 5}});
+    const auto sol = OptimizeShares(eq2, 1e6);
+    std::printf("  Eq.(2): optimizer %.2f vs closed form %.2f\n",
+                sol.cost_per_edge, Eq2Replication(6, 2, 2, 1e6));
+  }
+  {
+    // Eq.(3) scenario on C4: S2={0,2} independent covering all edges.
+    const CostExpression eq3(
+        4, {{2.0, 0, 1}, {2.0, 1, 2}, {1.0, 2, 3}, {1.0, 0, 3}});
+    const auto sol = OptimizeShares(eq3, 1e6);
+    std::printf("  Eq.(3): optimizer %.2f vs closed form %.2f\n",
+                sol.cost_per_edge, Eq3Replication(4, 2, 1, 1e6));
+  }
+
+  std::printf("\nTheorem 4.4: combined vs split evaluation (same k each)\n");
+  for (const auto& pattern :
+       {SampleGraph::Square(), SampleGraph::Lollipop(),
+        SampleGraph::Cycle(5)}) {
+    const auto cqs = CqsForSample(pattern);
+    const double k = 10000;
+    const double combined =
+        OptimizeShares(CostExpression::ForCqSet(cqs), k).cost_per_edge;
+    double split = 0;
+    for (const auto& cq : cqs) {
+      split += OptimizeShares(CostExpression::ForSingleCq(cq), k).cost_per_edge;
+    }
+    std::printf("  %-28s combined=%10.2f split(%zu CQs)=%10.2f ratio=%.2f\n",
+                pattern.ToString().c_str(), combined, cqs.size(), split,
+                split / combined);
+  }
+}
+
+}  // namespace
+}  // namespace smr
+
+int main() {
+  smr::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Bounded-degree enumeration (Theorem 7.3): on data graphs whose maximum
+// degree is Delta, any connected p-node pattern can be enumerated in
+// O(m * Delta^{p-2}) — much better than the general O(m^{p/2}) when Delta
+// is small. The scenario: road/mesh-like networks (grids) and sensor
+// networks (degree-capped random graphs), where degree is naturally small.
+//
+// Run: ./build/examples/degree_bounded
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "serial/bounded_degree.h"
+#include "serial/matcher.h"
+
+namespace {
+
+void Report(const char* label, const smr::Graph& graph,
+            const smr::SampleGraph& pattern, const char* pattern_name) {
+  smr::CostCounter bounded_cost;
+  smr::CountingSink bounded;
+  smr::EnumerateBoundedDegree(pattern, graph, &bounded, &bounded_cost);
+  smr::CostCounter generic_cost;
+  smr::CountingSink generic;
+  smr::EnumerateInstances(pattern, graph, &generic, &generic_cost);
+  std::printf("%-22s %-12s Delta=%-3zu count=%-8llu bounded_ops=%-10llu "
+              "generic_ops=%-10llu %s\n",
+              label, pattern_name, graph.MaxDegree(),
+              static_cast<unsigned long long>(bounded.count()),
+              static_cast<unsigned long long>(bounded_cost.Total()),
+              static_cast<unsigned long long>(generic_cost.Total()),
+              bounded.count() == generic.count() ? "" : "MISMATCH");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Theorem 7.3: bounded-degree enumeration\n\n");
+
+  const smr::Graph grid = smr::GridGraph(60, 60);
+  Report("road grid 60x60", grid, smr::SampleGraph::Square(), "square");
+  Report("road grid 60x60", grid, smr::SampleGraph::Path(4), "path-4");
+
+  const smr::Graph sensors = smr::DegreeCapped(4000, 9000, 6, 99);
+  Report("sensor net cap-6", sensors, smr::SampleGraph::Triangle(),
+         "triangle");
+  Report("sensor net cap-6", sensors, smr::SampleGraph::Square(), "square");
+  Report("sensor net cap-6", sensors, smr::SampleGraph::Star(4), "star-4");
+
+  const smr::Graph tree = smr::RegularTree(8, 4);
+  Report("8-regular tree", tree, smr::SampleGraph::Star(3), "star-3");
+  Report("8-regular tree", tree, smr::SampleGraph::Path(4), "path-4");
+
+  std::printf(
+      "\nthe bounded-degree kernel's operation count scales with\n"
+      "m * Delta^{p-2} (Theorem 7.3), so it stays fast on meshes and\n"
+      "sensor networks where the generic matcher has no degree guarantee.\n");
+  return 0;
+}

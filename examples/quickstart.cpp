@@ -1,0 +1,52 @@
+// Quickstart: enumerate triangles in a graph with one map-reduce round.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart [path/to/edge_list.txt]
+//
+// Without an argument a random graph is generated. With a file argument,
+// the file is read as a whitespace-separated edge list ("u v" per line,
+// '#' comments allowed).
+
+#include <cstdio>
+#include <string>
+
+#include "core/subgraph_enumerator.h"
+#include "core/triangle_algorithms.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+int main(int argc, char** argv) {
+  // 1. Load or generate the data graph.
+  const smr::Graph graph = argc > 1
+                               ? smr::ReadEdgeListFile(argv[1])
+                               : smr::ErdosRenyi(/*num_nodes=*/5000,
+                                                 /*num_edges=*/40000,
+                                                 /*seed=*/2026);
+  std::printf("data graph: %u nodes, %zu edges\n", graph.num_nodes(),
+              graph.num_edges());
+
+  // 2. The specialized Section-2.3 algorithm: b per-edge replication,
+  //    C(b+2,3) reducers, every triangle found exactly once.
+  const int buckets = 8;
+  smr::CountingSink count;
+  const smr::MapReduceMetrics metrics =
+      smr::OrderedBucketTriangles(graph, buckets, /*seed=*/1, &count);
+  std::printf("triangles: %llu\n",
+              static_cast<unsigned long long>(count.count()));
+  std::printf("map-reduce metrics: %s\n", metrics.ToString().c_str());
+
+  // 3. The same thing through the generic facade (any sample graph works).
+  const smr::SubgraphEnumerator enumerator(smr::SampleGraph::Triangle());
+  const auto generic = enumerator.RunBucketOriented(graph, buckets, 1,
+                                                    /*sink=*/nullptr);
+  std::printf("generic bucket-oriented agrees: %s (%llu)\n",
+              generic.outputs == count.count() ? "yes" : "NO",
+              static_cast<unsigned long long>(generic.outputs));
+
+  // 4. And the serial reference for a sanity check.
+  const uint64_t serial = enumerator.RunSerial(graph, nullptr);
+  std::printf("serial reference:               %s (%llu)\n",
+              serial == count.count() ? "yes" : "NO",
+              static_cast<unsigned long long>(serial));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Social-network motif census (the application of Section 1.1 / [14]):
+// counts several small motifs — triangles, squares, lollipops, 5-cycles —
+// in a synthetic power-law "community" graph, comparing the communication
+// cost of bucket-oriented and share-optimized variable-oriented processing
+// for each motif.
+//
+// Run: ./build/examples/social_motifs [num_members]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/subgraph_enumerator.h"
+#include "core/variable_oriented.h"
+#include "graph/generators.h"
+
+namespace {
+
+struct Motif {
+  const char* name;
+  smr::SampleGraph pattern;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const smr::NodeId members =
+      argc > 1 ? static_cast<smr::NodeId>(std::atoi(argv[1])) : 400;
+  // Preferential attachment mimics the heavy-tailed degree distribution of
+  // real social graphs — the regime where the "curse of the last reducer"
+  // [19] makes naive partitioning slow.
+  const smr::Graph network = smr::PreferentialAttachment(members, 3, 77);
+  std::printf("community graph: %u members, %zu ties, max degree %zu\n\n",
+              network.num_nodes(), network.num_edges(), network.MaxDegree());
+
+  const std::vector<Motif> motifs = {
+      {"triangle (closed triad)", smr::SampleGraph::Triangle()},
+      {"square (4-cycle)", smr::SampleGraph::Square()},
+      {"lollipop (triad + tail)", smr::SampleGraph::Lollipop()},
+      {"5-cycle", smr::SampleGraph::Cycle(5)},
+  };
+
+  std::printf("%-26s %10s %8s | %14s %14s\n", "motif", "count", "CQs",
+              "bucket repl", "variable repl");
+  for (const Motif& motif : motifs) {
+    const smr::SubgraphEnumerator enumerator(motif.pattern);
+    const auto bucket = enumerator.RunBucketOriented(network, 4, 9, nullptr);
+    // Variable-oriented with optimizer-chosen shares at a similar reducer
+    // budget.
+    const auto solution =
+        enumerator.OptimalShares(static_cast<double>(bucket.key_space));
+    const auto variable = enumerator.RunVariableOriented(
+        network, smr::RoundShares(solution.shares), 9, nullptr);
+    std::printf("%-26s %10llu %8zu | %11.1f/e %11.1f/e%s\n", motif.name,
+                static_cast<unsigned long long>(bucket.outputs),
+                enumerator.cqs().size(), bucket.ReplicationRate(),
+                variable.ReplicationRate(),
+                bucket.outputs == variable.outputs ? "" : "  DISAGREE");
+  }
+
+  std::printf(
+      "\nmotif ratios like (squares : triangles) feed the community\n"
+      "life-stage classifiers described in the paper's Section 1.1.\n");
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "core/bucket_oriented.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cq/cq_evaluator.h"
+#include "graph/node_order.h"
+#include "graph/subgraph.h"
+#include "mapreduce/engine.h"
+#include "util/combinatorics.h"
+#include "util/hashing.h"
+
+namespace smr {
+
+namespace {
+
+uint64_t PackDigits(const std::vector<int>& digits, int base) {
+  uint64_t key = 0;
+  for (int d : digits) key = key * base + static_cast<uint64_t>(d);
+  return key;
+}
+
+std::vector<int> UnpackDigits(uint64_t key, int base, int count) {
+  std::vector<int> digits(count);
+  for (int i = count - 1; i >= 0; --i) {
+    digits[i] = static_cast<int>(key % base);
+    key /= base;
+  }
+  return digits;
+}
+
+/// Sink wrapper used inside reducers: translates local node ids to global,
+/// optionally filters by a predicate, and forwards to the reducer context.
+class ReducerSink : public InstanceSink {
+ public:
+  ReducerSink(const std::vector<NodeId>& local_to_global,
+              std::function<bool(std::span<const NodeId>)> keep,
+              ReduceContext* context)
+      : local_to_global_(local_to_global),
+        keep_(std::move(keep)),
+        context_(context) {}
+
+  void Emit(std::span<const NodeId> assignment) override {
+    scratch_.assign(assignment.size(), 0);
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      scratch_[i] = local_to_global_[assignment[i]];
+    }
+    if (keep_ && !keep_(scratch_)) return;
+    context_->EmitInstance(scratch_);
+  }
+
+ private:
+  const std::vector<NodeId>& local_to_global_;
+  std::function<bool(std::span<const NodeId>)> keep_;
+  ReduceContext* context_;
+  std::vector<NodeId> scratch_;
+};
+
+}  // namespace
+
+MapReduceMetrics BucketOrientedEnumerate(const SampleGraph& pattern,
+                                         std::span<const ConjunctiveQuery> cqs,
+                                         const Graph& graph, int buckets,
+                                         uint64_t seed, InstanceSink* sink) {
+  const int p = pattern.num_vars();
+  if (buckets < 1 || p < 2) throw std::invalid_argument("bad parameters");
+  const BucketHasher hasher(buckets, seed);
+  const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
+  const uint64_t key_space = Binomial(buckets + p - 1, p);
+  // The p-2 extra bucket values an edge's key is padded with; shared across
+  // all mapper invocations.
+  const std::vector<std::vector<int>> paddings =
+      NondecreasingSequences(buckets, p - 2);
+
+  auto map_fn = [&](const Edge& edge, Emitter<Edge>* out) {
+    const Edge oriented = order.Orient(edge);
+    const int i = hasher.Bucket(oriented.first);
+    const int j = hasher.Bucket(oriented.second);  // i <= j under the order
+    std::vector<int> multiset(p);
+    for (const auto& padding : paddings) {
+      multiset.assign(padding.begin(), padding.end());
+      multiset.push_back(i);
+      multiset.push_back(j);
+      std::sort(multiset.begin(), multiset.end());
+      out->Emit(PackDigits(multiset, buckets), oriented);
+    }
+  };
+
+  auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
+                       ReduceContext* context) {
+    const std::vector<int> own = UnpackDigits(key, buckets, p);
+    const Subgraph local = BuildSubgraph(values);
+    context->cost->edges_scanned += values.size();
+    const NodeOrder local_order =
+        NodeOrder::Project(order, local.local_to_global);
+    const CqEvaluator evaluator(local.graph, local_order);
+    ReducerSink reducer_sink(
+        local.local_to_global,
+        [&](std::span<const NodeId> global) {
+          // Keep solutions whose sorted bucket multiset matches this
+          // reducer; all other reducers holding these edges skip them.
+          std::vector<int> got;
+          got.reserve(global.size());
+          for (NodeId node : global) got.push_back(hasher.Bucket(node));
+          std::sort(got.begin(), got.end());
+          return got == own;
+        },
+        context);
+    evaluator.EvaluateAll(cqs, &reducer_sink, context->cost);
+  };
+
+  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
+                                    key_space);
+}
+
+MapReduceMetrics GeneralizedPartitionEnumerate(
+    const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
+    const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink) {
+  const int p = pattern.num_vars();
+  const int b = num_groups;
+  if (p < 3 || b < p) {
+    throw std::invalid_argument("generalized Partition needs b >= p >= 3");
+  }
+  const BucketHasher hasher(b, seed);
+  const uint64_t key_space = Binomial(b, p);
+
+  // Enumerates all strictly increasing p-subsets of groups that contain the
+  // required group(s) and emits the edge to each.
+  auto map_fn = [&](const Edge& edge, Emitter<Edge>* out) {
+    int i = hasher.Bucket(edge.first);
+    int j = hasher.Bucket(edge.second);
+    if (i > j) std::swap(i, j);
+    std::vector<int> required = {i};
+    if (j != i) required.push_back(j);
+    std::vector<int> subset;
+    std::function<void(int)> recurse = [&](int next) {
+      if (static_cast<int>(subset.size()) == p) {
+        bool ok = true;
+        for (int r : required) {
+          if (!std::binary_search(subset.begin(), subset.end(), r)) ok = false;
+        }
+        if (ok) out->Emit(PackDigits(subset, b), edge);
+        return;
+      }
+      if (next >= b) return;
+      // Prune: not enough groups left to finish the subset.
+      if (b - next < p - static_cast<int>(subset.size())) return;
+      subset.push_back(next);
+      recurse(next + 1);
+      subset.pop_back();
+      recurse(next + 1);
+    };
+    recurse(0);
+  };
+
+  auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
+                       ReduceContext* context) {
+    const std::vector<int> own = UnpackDigits(key, b, p);
+    const Subgraph local = BuildSubgraph(values);
+    context->cost->edges_scanned += values.size();
+    const NodeOrder local_order = NodeOrder::Identity(local.graph.num_nodes());
+    const CqEvaluator evaluator(local.graph, local_order);
+    ReducerSink reducer_sink(
+        local.local_to_global,
+        [&](std::span<const NodeId> global) {
+          // Canonical-subset de-duplication, as for Partition triangles:
+          // pad the instance's distinct groups with the smallest unused
+          // group ids; only the canonical reducer emits.
+          std::vector<int> distinct;
+          for (NodeId node : global) distinct.push_back(hasher.Bucket(node));
+          std::sort(distinct.begin(), distinct.end());
+          distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                         distinct.end());
+          for (int candidate = 0;
+               static_cast<int>(distinct.size()) < p && candidate < b;
+               ++candidate) {
+            if (!std::binary_search(distinct.begin(), distinct.end(),
+                                    candidate)) {
+              distinct.insert(std::lower_bound(distinct.begin(),
+                                               distinct.end(), candidate),
+                              candidate);
+            }
+          }
+          return distinct == own;
+        },
+        context);
+    evaluator.EvaluateAll(cqs, &reducer_sink, context->cost);
+  };
+
+  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
+                                    key_space);
+}
+
+}  // namespace smr

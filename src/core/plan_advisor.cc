@@ -1,0 +1,55 @@
+#include "core/plan_advisor.h"
+
+#include <sstream>
+
+#include "cq/cq_generation.h"
+#include "shares/cost_expression.h"
+#include "shares/replication_formulas.h"
+#include "shares/share_optimizer.h"
+
+namespace smr {
+
+std::string StrategyPlan::ToString() const {
+  std::ostringstream os;
+  os << "recommended="
+     << (recommended == Strategy::kBucketOriented ? "bucket-oriented"
+                                                  : "variable-oriented")
+     << " bucket(b=" << buckets << ", cost/edge=" << bucket_cost_per_edge
+     << ") variable(cost/edge=" << variable_cost_per_edge << ", shares=[";
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shares[i];
+  }
+  os << "]) cqs=" << num_cqs;
+  return os.str();
+}
+
+StrategyPlan PlanEnumeration(const SampleGraph& pattern, double k) {
+  const int p = pattern.num_vars();
+  StrategyPlan plan;
+  const auto cqs = CqsForSample(pattern);
+  plan.num_cqs = cqs.size();
+
+  // Bucket-oriented: the largest b whose useful-reducer count fits in k.
+  int b = 1;
+  while (BucketOrientedReducerCount(b + 1, p) <=
+         static_cast<uint64_t>(k)) {
+    ++b;
+  }
+  plan.buckets = b;
+  plan.bucket_cost_per_edge =
+      static_cast<double>(BucketOrientedEdgeReplication(b, p));
+
+  // Variable-oriented: optimizer on the merged cost expression.
+  const ShareSolution solution =
+      OptimizeShares(CostExpression::ForCqSet(cqs), k);
+  plan.shares = solution.shares;
+  plan.variable_cost_per_edge = solution.cost_per_edge;
+
+  plan.recommended = plan.bucket_cost_per_edge <= plan.variable_cost_per_edge
+                         ? StrategyPlan::Strategy::kBucketOriented
+                         : StrategyPlan::Strategy::kVariableOriented;
+  return plan;
+}
+
+}  // namespace smr

@@ -1,0 +1,42 @@
+#ifndef SMR_CORE_PLAN_ADVISOR_H_
+#define SMR_CORE_PLAN_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/sample_graph.h"
+
+namespace smr {
+
+/// Production-side planning helper: given a sample graph and a reducer
+/// budget k, predicts the communication cost of the strategies this library
+/// offers and recommends one. All predictions are closed-form / optimizer
+/// outputs — no data pass needed — which is how a job would be planned
+/// before launching a cluster round.
+///
+/// The trade-off encoded here is the paper's Section 4: bucket-oriented
+/// processing ships each edge in one orientation but cannot tune per-variable
+/// shares; variable-oriented processing tunes the shares but pays
+/// coefficient 2 for bidirectional edges.
+struct StrategyPlan {
+  enum class Strategy { kBucketOriented, kVariableOriented };
+
+  Strategy recommended;
+  /// Bucket count b for bucket-oriented processing with C(b+p-1, p) <= k.
+  int buckets = 0;
+  double bucket_cost_per_edge = 0;
+  /// Optimizer shares for variable-oriented processing at reducer budget k.
+  std::vector<double> shares;
+  double variable_cost_per_edge = 0;
+  /// Number of CQs the reducers evaluate either way.
+  size_t num_cqs = 0;
+
+  std::string ToString() const;
+};
+
+/// Plans for `pattern` at reducer budget k (>= 1).
+StrategyPlan PlanEnumeration(const SampleGraph& pattern, double k);
+
+}  // namespace smr
+
+#endif  // SMR_CORE_PLAN_ADVISOR_H_

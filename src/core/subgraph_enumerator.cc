@@ -1,0 +1,40 @@
+#include "core/subgraph_enumerator.h"
+
+#include "core/bucket_oriented.h"
+#include "core/variable_oriented.h"
+#include "cq/cq_generation.h"
+#include "serial/matcher.h"
+#include "shares/cost_expression.h"
+
+namespace smr {
+
+SubgraphEnumerator::SubgraphEnumerator(SampleGraph pattern)
+    : pattern_(std::move(pattern)), cqs_(CqsForSample(pattern_)) {}
+
+MapReduceMetrics SubgraphEnumerator::RunBucketOriented(
+    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink) const {
+  return BucketOrientedEnumerate(pattern_, cqs_, graph, buckets, seed, sink);
+}
+
+MapReduceMetrics SubgraphEnumerator::RunVariableOriented(
+    const Graph& graph, const std::vector<int>& shares, uint64_t seed,
+    InstanceSink* sink) const {
+  return VariableOrientedEnumerate(pattern_, cqs_, graph, shares, seed, sink);
+}
+
+MapReduceMetrics SubgraphEnumerator::RunVariableOrientedAuto(
+    const Graph& graph, double k, uint64_t seed, InstanceSink* sink) const {
+  const ShareSolution solution = OptimalShares(k);
+  return RunVariableOriented(graph, RoundShares(solution.shares), seed, sink);
+}
+
+ShareSolution SubgraphEnumerator::OptimalShares(double k) const {
+  return OptimizeShares(CostExpression::ForCqSet(cqs_), k);
+}
+
+uint64_t SubgraphEnumerator::RunSerial(const Graph& graph,
+                                       InstanceSink* sink) const {
+  return EnumerateInstances(pattern_, graph, sink, nullptr);
+}
+
+}  // namespace smr

@@ -1,0 +1,70 @@
+#ifndef SMR_CORE_SUBGRAPH_ENUMERATOR_H_
+#define SMR_CORE_SUBGRAPH_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+#include "graph/graph.h"
+#include "graph/sample_graph.h"
+#include "mapreduce/instance_sink.h"
+#include "mapreduce/metrics.h"
+#include "shares/share_optimizer.h"
+
+namespace smr {
+
+/// Public facade of the library: builds the CQ set for a sample graph once
+/// (Section 3) and runs any of the paper's single-round map-reduce
+/// strategies, or the reference serial algorithm, against data graphs.
+///
+/// Typical use:
+///
+///   SubgraphEnumerator enumerator(SampleGraph::Square());
+///   CountingSink count;
+///   MapReduceMetrics metrics =
+///       enumerator.RunBucketOriented(graph, /*buckets=*/8, /*seed=*/1,
+///                                    &count);
+///
+/// All strategies emit every instance exactly once; `sink` may be null to
+/// just count (the count is in metrics.outputs).
+class SubgraphEnumerator {
+ public:
+  explicit SubgraphEnumerator(SampleGraph pattern);
+
+  const SampleGraph& pattern() const { return pattern_; }
+
+  /// The merged CQ set of Section 3 (quotient group + orientation merge).
+  const std::vector<ConjunctiveQuery>& cqs() const { return cqs_; }
+
+  /// Bucket-oriented processing (Section 4.5): same b for every variable,
+  /// C(b+p-1, p) reducers, replication C(b+p-3, p-2) per edge.
+  MapReduceMetrics RunBucketOriented(const Graph& graph, int buckets,
+                                     uint64_t seed, InstanceSink* sink) const;
+
+  /// Variable-oriented processing (Section 4.3) with explicit shares.
+  MapReduceMetrics RunVariableOriented(const Graph& graph,
+                                       const std::vector<int>& shares,
+                                       uint64_t seed,
+                                       InstanceSink* sink) const;
+
+  /// Variable-oriented processing with shares chosen by the optimizer of
+  /// Section 4.1 for a reducer budget of (approximately) k.
+  MapReduceMetrics RunVariableOrientedAuto(const Graph& graph, double k,
+                                           uint64_t seed,
+                                           InstanceSink* sink) const;
+
+  /// The optimizer's share solution for this pattern at reducer budget k
+  /// (variable-oriented cost expression, Section 4.3).
+  ShareSolution OptimalShares(double k) const;
+
+  /// Reference serial enumeration (ground truth).
+  uint64_t RunSerial(const Graph& graph, InstanceSink* sink) const;
+
+ private:
+  SampleGraph pattern_;
+  std::vector<ConjunctiveQuery> cqs_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_CORE_SUBGRAPH_ENUMERATOR_H_

@@ -1,0 +1,223 @@
+#include "core/triangle_algorithms.h"
+
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/node_order.h"
+#include "graph/subgraph.h"
+#include "mapreduce/engine.h"
+#include "serial/triangles.h"
+#include "util/combinatorics.h"
+#include "util/hashing.h"
+
+namespace smr {
+
+namespace {
+
+uint64_t PackTriple(int a, int b, int c, int base) {
+  return (static_cast<uint64_t>(a) * base + b) * base + c;
+}
+
+std::array<int, 3> UnpackTriple(uint64_t key, int base) {
+  const int c = static_cast<int>(key % base);
+  key /= base;
+  const int b = static_cast<int>(key % base);
+  const int a = static_cast<int>(key / base);
+  return {a, b, c};
+}
+
+/// Value shipped by the multiway-join mapper: the edge plus the roles
+/// (XY=1, YZ=2, XZ=4) it plays at the receiving reducer. Overlapping roles
+/// at the same reducer are merged into one key-value pair (footnote 1).
+struct RoleEdge {
+  NodeId u;
+  NodeId v;
+  uint8_t roles;
+};
+
+}  // namespace
+
+MapReduceMetrics MultiwayJoinTriangles(const Graph& graph, int buckets,
+                                       uint64_t seed, InstanceSink* sink) {
+  if (buckets < 1) throw std::invalid_argument("buckets must be >= 1");
+  const BucketHasher hasher(buckets, seed);
+  const uint64_t key_space = static_cast<uint64_t>(buckets) * buckets * buckets;
+
+  auto map_fn = [&](const Edge& edge, Emitter<RoleEdge>* out) {
+    const auto [u, v] = edge;  // u < v by Graph's canonical storage
+    const int hu = hasher.Bucket(u);
+    const int hv = hasher.Bucket(v);
+    std::unordered_map<uint64_t, uint8_t> roles_by_key;
+    for (int z = 0; z < buckets; ++z) {
+      roles_by_key[PackTriple(hu, hv, z, buckets)] |= 1;  // as E(X,Y)
+    }
+    for (int x = 0; x < buckets; ++x) {
+      roles_by_key[PackTriple(x, hu, hv, buckets)] |= 2;  // as E(Y,Z)
+    }
+    for (int y = 0; y < buckets; ++y) {
+      roles_by_key[PackTriple(hu, y, hv, buckets)] |= 4;  // as E(X,Z)
+    }
+    for (const auto& [key, roles] : roles_by_key) {
+      out->Emit(key, RoleEdge{u, v, roles});
+    }
+  };
+
+  auto reduce_fn = [&](uint64_t /*key*/, std::span<const RoleEdge> values,
+                       ReduceContext* context) {
+    // R_XY join R_YZ join R_XZ with shared middle / outer variables.
+    std::unordered_map<uint64_t, std::vector<NodeId>> yz_by_first;
+    std::unordered_set<uint64_t, IdHash> xz;
+    for (const RoleEdge& value : values) {
+      ++context->cost->edges_scanned;
+      if (value.roles & 2) yz_by_first[value.u].push_back(value.v);
+      if (value.roles & 4) xz.insert(PackPair(value.u, value.v));
+    }
+    for (const RoleEdge& value : values) {
+      if (!(value.roles & 1)) continue;
+      const auto it = yz_by_first.find(value.v);
+      if (it == yz_by_first.end()) continue;
+      for (NodeId w : it->second) {
+        ++context->cost->candidates;
+        ++context->cost->index_probes;
+        if (xz.count(PackPair(value.u, w)) > 0) {
+          const std::array<NodeId, 3> assignment = {value.u, value.v, w};
+          context->EmitInstance(assignment);
+        }
+      }
+    }
+  };
+
+  return RunSingleRound<Edge, RoleEdge>(graph.edges(), map_fn, reduce_fn, sink,
+                                        key_space);
+}
+
+MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
+                                        uint64_t seed, InstanceSink* sink) {
+  if (buckets < 1) throw std::invalid_argument("buckets must be >= 1");
+  const BucketHasher hasher(buckets, seed);
+  const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
+  const uint64_t key_space = Binomial(buckets + 2, 3);
+
+  auto map_fn = [&](const Edge& edge, Emitter<Edge>* out) {
+    const Edge oriented = order.Orient(edge);
+    const int i = hasher.Bucket(oriented.first);
+    const int j = hasher.Bucket(oriented.second);  // i <= j by the order
+    for (int w = 0; w < buckets; ++w) {
+      std::array<int, 3> triple = {i, j, w};
+      std::sort(triple.begin(), triple.end());
+      out->Emit(PackTriple(triple[0], triple[1], triple[2], buckets),
+                oriented);
+    }
+  };
+
+  auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
+                       ReduceContext* context) {
+    const std::array<int, 3> triple = UnpackTriple(key, buckets);
+    const Subgraph local = BuildSubgraph(values);
+    context->cost->edges_scanned += values.size();
+    const NodeOrder local_order =
+        NodeOrder::Project(order, local.local_to_global);
+    CollectingSink local_sink;
+    EnumerateTriangles(local.graph, local_order, &local_sink, context->cost);
+    for (const auto& assignment : local_sink.assignments()) {
+      // Keep only triangles whose sorted bucket triple is this reducer's
+      // (other reducers see the same triangle's edges but skip it).
+      std::array<int, 3> got = {
+          hasher.Bucket(local.local_to_global[assignment[0]]),
+          hasher.Bucket(local.local_to_global[assignment[1]]),
+          hasher.Bucket(local.local_to_global[assignment[2]])};
+      std::sort(got.begin(), got.end());
+      if (got != triple) continue;
+      const std::array<NodeId, 3> global = {
+          local.local_to_global[assignment[0]],
+          local.local_to_global[assignment[1]],
+          local.local_to_global[assignment[2]]};
+      context->EmitInstance(global);
+    }
+  };
+
+  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
+                                    key_space);
+}
+
+MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
+                                    uint64_t seed, InstanceSink* sink) {
+  if (num_groups < 3) throw std::invalid_argument("Partition needs b >= 3");
+  const int b = num_groups;
+  const BucketHasher hasher(b, seed);
+  const uint64_t key_space = Binomial(b, 3);
+
+  auto map_fn = [&](const Edge& edge, Emitter<Edge>* out) {
+    int i = hasher.Bucket(edge.first);
+    int j = hasher.Bucket(edge.second);
+    if (i > j) std::swap(i, j);
+    if (i == j) {
+      // Both endpoints in group i: send to every triple containing i.
+      for (int x = 0; x < b; ++x) {
+        if (x == i) continue;
+        for (int y = x + 1; y < b; ++y) {
+          if (y == i) continue;
+          std::array<int, 3> triple = {i, x, y};
+          std::sort(triple.begin(), triple.end());
+          out->Emit(PackTriple(triple[0], triple[1], triple[2], b), edge);
+        }
+      }
+    } else {
+      for (int w = 0; w < b; ++w) {
+        if (w == i || w == j) continue;
+        std::array<int, 3> triple = {i, j, w};
+        std::sort(triple.begin(), triple.end());
+        out->Emit(PackTriple(triple[0], triple[1], triple[2], b), edge);
+      }
+    }
+  };
+
+  auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
+                       ReduceContext* context) {
+    const std::array<int, 3> own = UnpackTriple(key, b);
+    const Subgraph local = BuildSubgraph(values);
+    context->cost->edges_scanned += values.size();
+    const NodeOrder local_order = NodeOrder::Identity(local.graph.num_nodes());
+    CollectingSink local_sink;
+    EnumerateTriangles(local.graph, local_order, &local_sink, context->cost);
+    for (const auto& assignment : local_sink.assignments()) {
+      const std::array<NodeId, 3> global = {
+          local.local_to_global[assignment[0]],
+          local.local_to_global[assignment[1]],
+          local.local_to_global[assignment[2]]};
+      // De-duplication: the triangle's distinct groups H are contained in
+      // several reducer triples; only the canonical one (H padded with the
+      // smallest unused group ids) emits it.
+      std::array<int, 3> groups = {hasher.Bucket(global[0]),
+                                   hasher.Bucket(global[1]),
+                                   hasher.Bucket(global[2])};
+      std::sort(groups.begin(), groups.end());
+      std::vector<int> distinct;
+      for (int g : groups) {
+        if (distinct.empty() || distinct.back() != g) distinct.push_back(g);
+      }
+      for (int candidate = 0;
+           static_cast<int>(distinct.size()) < 3 && candidate < b;
+           ++candidate) {
+        bool present = false;
+        for (int g : distinct) present |= (g == candidate);
+        if (!present) {
+          distinct.push_back(candidate);
+          std::sort(distinct.begin(), distinct.end());
+        }
+      }
+      const std::array<int, 3> canonical = {distinct[0], distinct[1],
+                                            distinct[2]};
+      if (canonical != own) continue;
+      context->EmitInstance(global);
+    }
+  };
+
+  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
+                                    key_space);
+}
+
+}  // namespace smr

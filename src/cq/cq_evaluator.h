@@ -1,0 +1,53 @@
+#ifndef SMR_CQ_CQ_EVALUATOR_H_
+#define SMR_CQ_CQ_EVALUATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "cq/conjunctive_query.h"
+#include "graph/graph.h"
+#include "graph/node_order.h"
+#include "mapreduce/instance_sink.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// Evaluates conjunctive queries over the single edge relation E of a data
+/// graph (each undirected edge stored once, oriented by a node order). This
+/// is the multiway-join-plus-selection of Section 3 run at a reducer — or,
+/// standalone, a complete serial algorithm for enumerating instances.
+///
+/// The join is a backtracking expansion along the subgoals: the first
+/// subgoal is seeded from the full (oriented) edge list, each subsequent
+/// variable is drawn from the successor/predecessor lists of an
+/// already-bound variable, remaining subgoals become O(1) index probes, and
+/// the arithmetic condition is applied as a final selection, exactly as
+/// footnote 5 of the paper prescribes.
+class CqEvaluator {
+ public:
+  /// `graph` must outlive the evaluator; the order is copied.
+  CqEvaluator(const Graph& graph, NodeOrder order);
+
+  /// Enumerates all solutions of `cq`; emits assignments (variable ->
+  /// data node) into `sink`. Returns the number of solutions.
+  uint64_t Evaluate(const ConjunctiveQuery& cq, InstanceSink* sink,
+                    CostCounter* cost) const;
+
+  /// Evaluates every CQ in the set; the generation guarantees of Section 3
+  /// make the union produce each instance exactly once.
+  uint64_t EvaluateAll(std::span<const ConjunctiveQuery> cqs,
+                       InstanceSink* sink, CostCounter* cost) const;
+
+  const Graph& graph() const { return *graph_; }
+  const NodeOrder& order() const { return order_; }
+
+ private:
+  const Graph* graph_;
+  NodeOrder order_;
+  OrientedAdjacency successors_;
+  OrientedAdjacency predecessors_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_CQ_CQ_EVALUATOR_H_

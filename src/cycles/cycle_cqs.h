@@ -1,0 +1,56 @@
+#ifndef SMR_CYCLES_CYCLE_CQS_H_
+#define SMR_CYCLES_CYCLE_CQS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+
+namespace smr {
+
+/// Section 5: conjunctive queries for the cycle C_p generated from *edge
+/// orientations* (run sequences) instead of node orders — a smaller CQ set
+/// than the general method of Section 3 produces.
+///
+/// A run sequence is a composition of p into an even number of positive
+/// parts: alternating runs of "up" and "down" edges counterclockwise around
+/// the cycle, starting at a node lower than both neighbors (Section 5.1).
+/// Run sequences that are cyclic shifts by an even number of runs, or flips
+/// (reversals), of one another yield CQs that discover the same cycles, so
+/// only one representative per equivalence class is kept. Palindromic or
+/// periodic sequences would discover a cycle several times through the
+/// *same* CQ; following Section 5.2 step (4), extra inequalities break those
+/// self-symmetries. We realize the extra inequalities exactly, by keeping in
+/// each CQ's condition only the orders that are lexicographically minimal
+/// under the CQ's directed automorphisms (rotations/flips of the cycle
+/// preserving the orientation pattern).
+
+/// One run sequence with its derived artifacts.
+struct RunSequenceCq {
+  std::vector<int> runs;          // e.g. {1,1,2,2}
+  std::string orientation;        // e.g. "uduudd"
+  bool palindrome = false;        // flip-invariant (up to even rotation)
+  int periodicity = 1;            // > 1 when a nontrivial rotation fixes it
+  ConjunctiveQuery cq;
+};
+
+/// All representative run sequences for C_p with their CQs. Together the
+/// CQs discover every p-cycle of any data graph exactly once.
+std::vector<RunSequenceCq> CycleCqs(int p);
+
+/// The paper's *conditional* upper bound (2^p - 2) / (2p) on the number of
+/// CQs (Section 5.3), exact when p is prime.
+double CycleCqConditionalUpperBound(int p);
+
+/// The exact minimum number of orientation classes, computed by Burnside's
+/// lemma over the cyclic group with complementing reflections. Equals
+/// CycleCqs(p).size(); exposed so the benches can print predicted vs
+/// constructed. (Note: the paper's Example 5.4 claims 7 classes for p = 6;
+/// the correct count, both by this formula and by the exactly-once property
+/// test, is 8 — see EXPERIMENTS.md.)
+uint64_t CycleCqExactCount(int p);
+
+}  // namespace smr
+
+#endif  // SMR_CYCLES_CYCLE_CQS_H_

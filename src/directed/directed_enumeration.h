@@ -1,0 +1,37 @@
+#ifndef SMR_DIRECTED_DIRECTED_ENUMERATION_H_
+#define SMR_DIRECTED_DIRECTED_ENUMERATION_H_
+
+#include <cstdint>
+
+#include "directed/directed_graph.h"
+#include "mapreduce/instance_sink.h"
+#include "mapreduce/metrics.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// Directed-graph enumeration (Section 8, second bullet). The relation
+/// A(X, Y) stores each arc once — direction replaces the node-order
+/// canonicalization of the undirected case — while duplicate instances
+/// under directed automorphisms are suppressed with the
+/// lexicographically-first-embedding rule (Lemma 6.1's device).
+
+/// Ground-truth serial enumeration of the directed pattern's instances;
+/// each instance (arc-subgraph) exactly once.
+uint64_t EnumerateDirectedInstances(const DirectedSampleGraph& pattern,
+                                    const DirectedGraph& graph,
+                                    InstanceSink* sink, CostCounter* cost);
+
+/// Bucket-oriented single-round map-reduce enumeration: same hashing and
+/// reducer space as the undirected Section 4.5 scheme — one shared hash
+/// function, C(b+p-1, p) reducers, arcs shipped to every nondecreasing
+/// bucket multiset containing both endpoints' buckets, replication
+/// C(b+p-3, p-2) per arc. Reducers enumerate locally and keep instances
+/// whose bucket multiset is their own.
+MapReduceMetrics DirectedBucketOrientedEnumerate(
+    const DirectedSampleGraph& pattern, const DirectedGraph& graph,
+    int buckets, uint64_t seed, InstanceSink* sink);
+
+}  // namespace smr
+
+#endif  // SMR_DIRECTED_DIRECTED_ENUMERATION_H_

@@ -1,0 +1,156 @@
+#include "graph/generators.h"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/hashing.h"
+#include "util/rng.h"
+
+namespace smr {
+
+Graph ErdosRenyi(NodeId num_nodes, size_t num_edges, uint64_t seed) {
+  if (num_nodes < 2) throw std::invalid_argument("need at least 2 nodes");
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+  if (num_edges > max_edges) {
+    throw std::invalid_argument("too many edges requested");
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t, IdHash> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    NodeId u = static_cast<NodeId>(rng.Below(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Below(num_nodes));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (seen.insert(PackPair(u, v)).second) edges.emplace_back(u, v);
+  }
+  return Graph(num_nodes, std::move(edges));
+}
+
+Graph PreferentialAttachment(NodeId num_nodes, int edges_per_node,
+                             uint64_t seed) {
+  if (num_nodes < 2 || edges_per_node < 1) {
+    throw std::invalid_argument("bad preferential-attachment parameters");
+  }
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  // `targets` holds one entry per edge endpoint so that sampling uniformly
+  // from it is sampling proportionally to degree.
+  std::vector<NodeId> targets;
+  edges.emplace_back(0, 1);
+  targets.push_back(0);
+  targets.push_back(1);
+  std::unordered_set<uint64_t, IdHash> seen;
+  seen.insert(PackPair(0, 1));
+  for (NodeId u = 2; u < num_nodes; ++u) {
+    const int want = std::min<int>(edges_per_node, static_cast<int>(u));
+    int added = 0;
+    int attempts = 0;
+    while (added < want && attempts < 64 * want) {
+      ++attempts;
+      NodeId v = targets[rng.Below(targets.size())];
+      if (v == u) continue;
+      NodeId a = u, b = v;
+      if (a > b) std::swap(a, b);
+      if (!seen.insert(PackPair(a, b)).second) continue;
+      edges.emplace_back(a, b);
+      targets.push_back(u);
+      targets.push_back(v);
+      ++added;
+    }
+  }
+  return Graph(num_nodes, std::move(edges));
+}
+
+Graph DegreeCapped(NodeId num_nodes, size_t num_edges, size_t max_degree,
+                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> degree(num_nodes, 0);
+  std::unordered_set<uint64_t, IdHash> seen;
+  std::vector<Edge> edges;
+  size_t attempts = 0;
+  const size_t max_attempts = 200 * num_edges + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = static_cast<NodeId>(rng.Below(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Below(num_nodes));
+    if (u == v) continue;
+    if (degree[u] >= max_degree || degree[v] >= max_degree) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert(PackPair(u, v)).second) continue;
+    edges.emplace_back(u, v);
+    ++degree[u];
+    ++degree[v];
+  }
+  return Graph(num_nodes, std::move(edges));
+}
+
+Graph CycleGraph(NodeId num_nodes) {
+  if (num_nodes < 3) throw std::invalid_argument("cycle needs >= 3 nodes");
+  std::vector<Edge> edges;
+  edges.reserve(num_nodes);
+  for (NodeId u = 0; u + 1 < num_nodes; ++u) edges.emplace_back(u, u + 1);
+  edges.emplace_back(0, num_nodes - 1);
+  return Graph(num_nodes, std::move(edges));
+}
+
+Graph CompleteGraph(NodeId num_nodes) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < num_nodes; ++v) edges.emplace_back(u, v);
+  }
+  return Graph(num_nodes, std::move(edges));
+}
+
+Graph CompleteBipartite(NodeId a, NodeId b) {
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return Graph(a + b, std::move(edges));
+}
+
+Graph GridGraph(NodeId rows, NodeId cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph RegularTree(int delta, int depth) {
+  if (delta < 2 || depth < 1) throw std::invalid_argument("bad tree shape");
+  std::vector<Edge> edges;
+  std::vector<NodeId> frontier = {0};
+  NodeId next_id = 1;
+  for (int level = 0; level < depth; ++level) {
+    std::vector<NodeId> next_frontier;
+    for (NodeId u : frontier) {
+      // The root gets delta children; every other internal node has one
+      // parent edge already, so it gets delta - 1 children.
+      const int children = (u == 0) ? delta : delta - 1;
+      for (int c = 0; c < children; ++c) {
+        edges.emplace_back(u, next_id);
+        next_frontier.push_back(next_id);
+        ++next_id;
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return Graph(next_id, std::move(edges));
+}
+
+Graph StarGraph(NodeId leaves) {
+  std::vector<Edge> edges;
+  for (NodeId v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return Graph(leaves + 1, std::move(edges));
+}
+
+}  // namespace smr

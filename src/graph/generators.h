@@ -1,0 +1,51 @@
+#ifndef SMR_GRAPH_GENERATORS_H_
+#define SMR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace smr {
+
+/// Synthetic workload generators. The paper's experiments are stated over
+/// abstract random data graphs ("assuming a random distribution of the
+/// edges", Section 2.1) and over adversarial families (Δ-regular trees in
+/// Section 7.3); these generators realize both, deterministically per seed.
+
+/// Erdős–Rényi G(n, m): m distinct uniform random edges.
+Graph ErdosRenyi(NodeId num_nodes, size_t num_edges, uint64_t seed);
+
+/// Power-law-ish graph via preferential attachment: each new node attaches
+/// to `edges_per_node` existing nodes chosen proportionally to degree.
+/// Models the social-network application of Section 1.1.
+Graph PreferentialAttachment(NodeId num_nodes, int edges_per_node,
+                             uint64_t seed);
+
+/// Random graph whose maximum degree never exceeds `max_degree`
+/// (for the bounded-degree algorithms of Section 7.3).
+Graph DegreeCapped(NodeId num_nodes, size_t num_edges, size_t max_degree,
+                   uint64_t seed);
+
+/// Simple cycle 0-1-...-(n-1)-0.
+Graph CycleGraph(NodeId num_nodes);
+
+/// Complete graph K_n.
+Graph CompleteGraph(NodeId num_nodes);
+
+/// Complete bipartite graph K_{a,b}.
+Graph CompleteBipartite(NodeId a, NodeId b);
+
+/// r x c grid (4-neighborhood); maximum degree 4.
+Graph GridGraph(NodeId rows, NodeId cols);
+
+/// Full Δ-regular tree of the given depth: the root and every internal node
+/// have degree Δ. Section 7.3 uses this family to show the Θ(mΔ^{p-2})
+/// bound for p-stars is tight.
+Graph RegularTree(int delta, int depth);
+
+/// Star K_{1,leaves}.
+Graph StarGraph(NodeId leaves);
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_GENERATORS_H_

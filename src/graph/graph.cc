@@ -1,0 +1,49 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smr {
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes) {
+  for (Edge& e : edges) {
+    if (e.first == e.second) {
+      throw std::invalid_argument("self-loop in edge list");
+    }
+    if (e.first >= num_nodes || e.second >= num_nodes) {
+      throw std::invalid_argument("edge endpoint out of range");
+    }
+    if (e.first > e.second) std::swap(e.first, e.second);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+
+  std::vector<size_t> degree(num_nodes_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  offsets_.assign(num_nodes_ + 2, 0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    offsets_[u + 1] = offsets_[u] + degree[u];
+    max_degree_ = std::max(max_degree_, degree[u]);
+  }
+  adjacency_.resize(2 * edges_.size());
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.begin() + num_nodes_);
+  for (const Edge& e : edges_) {
+    adjacency_[cursor[e.first]++] = e.second;
+    adjacency_[cursor[e.second]++] = e.first;
+  }
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    std::sort(adjacency_.begin() + static_cast<long>(offsets_[u]),
+              adjacency_.begin() + static_cast<long>(offsets_[u + 1]));
+  }
+  edge_index_.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    edge_index_.insert(PackPair(e.first, e.second));
+  }
+}
+
+}  // namespace smr

@@ -1,0 +1,70 @@
+#ifndef SMR_GRAPH_GRAPH_H_
+#define SMR_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace smr {
+
+/// A node of the data graph.
+using NodeId = uint32_t;
+
+/// An undirected edge, stored canonically with first < second (by node id).
+using Edge = std::pair<NodeId, NodeId>;
+
+/// Immutable undirected simple graph: the paper's *data graph* G with n
+/// nodes and m edges. Provides CSR adjacency, an O(1) edge-existence index
+/// (the index assumed throughout Sections 6-7 of the paper, constructible in
+/// O(m)), and degree queries.
+///
+/// Self-loops are rejected; duplicate edges are collapsed.
+class Graph {
+ public:
+  /// Builds a graph on nodes [0, num_nodes) from an arbitrary edge list.
+  Graph(NodeId num_nodes, std::vector<Edge> edges);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Canonical (min,max) edge list, sorted ascending.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Neighbors of u, ascending by node id.
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u],
+            adjacency_.data() + offsets_[u + 1]};
+  }
+
+  size_t Degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+  size_t MaxDegree() const { return max_degree_; }
+
+  /// O(1) adjacency test.
+  bool HasEdge(NodeId u, NodeId v) const {
+    if (u == v) return false;
+    if (u > v) std::swap(u, v);
+    return edge_index_.count(PackPair(u, v)) > 0;
+  }
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<size_t> offsets_;
+  std::vector<NodeId> adjacency_;
+  std::unordered_set<uint64_t, IdHash> edge_index_;
+  size_t max_degree_ = 0;
+};
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_GRAPH_H_

@@ -1,0 +1,41 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smr {
+
+Graph ReadEdgeList(std::istream& in) {
+  std::vector<Edge> edges;
+  NodeId max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(fields >> u >> v)) continue;
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    max_id = std::max<NodeId>(max_id, static_cast<NodeId>(std::max(u, v)));
+  }
+  const NodeId num_nodes = edges.empty() ? 0 : max_id + 1;
+  return Graph(num_nodes, std::move(edges));
+}
+
+Graph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const Graph& graph, std::ostream& out) {
+  for (const Edge& e : graph.edges()) {
+    out << e.first << ' ' << e.second << '\n';
+  }
+}
+
+}  // namespace smr

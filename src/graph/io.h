@@ -1,0 +1,24 @@
+#ifndef SMR_GRAPH_IO_H_
+#define SMR_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace smr {
+
+/// Reads a whitespace-separated edge list ("u v" per line, '#' comments).
+/// Node ids need not be contiguous; they are kept as given and num_nodes is
+/// max id + 1.
+Graph ReadEdgeList(std::istream& in);
+
+/// Reads an edge-list file from disk. Throws std::runtime_error on failure.
+Graph ReadEdgeListFile(const std::string& path);
+
+/// Writes "u v" per line.
+void WriteEdgeList(const Graph& graph, std::ostream& out);
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_IO_H_

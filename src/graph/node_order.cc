@@ -1,0 +1,87 @@
+#include "graph/node_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace smr {
+
+namespace {
+
+std::vector<uint32_t> RanksFromSorted(const std::vector<NodeId>& sorted) {
+  std::vector<uint32_t> rank(sorted.size());
+  for (uint32_t pos = 0; pos < sorted.size(); ++pos) rank[sorted[pos]] = pos;
+  return rank;
+}
+
+}  // namespace
+
+NodeOrder NodeOrder::Identity(NodeId num_nodes) {
+  std::vector<uint32_t> rank(num_nodes);
+  std::iota(rank.begin(), rank.end(), 0u);
+  return NodeOrder(std::move(rank));
+}
+
+NodeOrder NodeOrder::ByDegree(const Graph& graph) {
+  std::vector<NodeId> nodes(graph.num_nodes());
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  std::sort(nodes.begin(), nodes.end(), [&graph](NodeId a, NodeId b) {
+    const size_t da = graph.Degree(a);
+    const size_t db = graph.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  return NodeOrder(RanksFromSorted(nodes));
+}
+
+NodeOrder NodeOrder::ByBucket(NodeId num_nodes, const BucketHasher& hasher) {
+  std::vector<NodeId> nodes(num_nodes);
+  std::iota(nodes.begin(), nodes.end(), 0u);
+  std::sort(nodes.begin(), nodes.end(), [&hasher](NodeId a, NodeId b) {
+    const int ba = hasher.Bucket(a);
+    const int bb = hasher.Bucket(b);
+    return ba != bb ? ba < bb : a < b;
+  });
+  return NodeOrder(RanksFromSorted(nodes));
+}
+
+NodeOrder NodeOrder::Project(const NodeOrder& global,
+                             const std::vector<NodeId>& local_to_global) {
+  const NodeId n = static_cast<NodeId>(local_to_global.size());
+  std::vector<NodeId> locals(n);
+  std::iota(locals.begin(), locals.end(), 0u);
+  std::sort(locals.begin(), locals.end(), [&](NodeId a, NodeId b) {
+    return global.Rank(local_to_global[a]) < global.Rank(local_to_global[b]);
+  });
+  return NodeOrder(RanksFromSorted(locals));
+}
+
+NodeOrder NodeOrder::Reversed() const {
+  std::vector<uint32_t> rank(rank_.size());
+  const uint32_t top = static_cast<uint32_t>(rank_.size()) - 1;
+  for (size_t u = 0; u < rank_.size(); ++u) rank[u] = top - rank_[u];
+  return NodeOrder(std::move(rank));
+}
+
+OrientedAdjacency::OrientedAdjacency(const Graph& graph,
+                                     const NodeOrder& order) {
+  const NodeId n = graph.num_nodes();
+  std::vector<size_t> out_degree(n, 0);
+  for (const Edge& e : graph.edges()) {
+    const Edge oriented = order.Orient(e);
+    ++out_degree[oriented.first];
+  }
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + out_degree[u];
+  nodes_.resize(graph.num_edges());
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.begin() + n);
+  for (const Edge& e : graph.edges()) {
+    const Edge oriented = order.Orient(e);
+    nodes_[cursor[oriented.first]++] = oriented.second;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    std::sort(nodes_.begin() + static_cast<long>(offsets_[u]),
+              nodes_.begin() + static_cast<long>(offsets_[u + 1]),
+              [&order](NodeId a, NodeId b) { return order.Less(a, b); });
+  }
+}
+
+}  // namespace smr

@@ -1,0 +1,83 @@
+#ifndef SMR_GRAPH_NODE_ORDER_H_
+#define SMR_GRAPH_NODE_ORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/hashing.h"
+
+namespace smr {
+
+/// A total order `<` on the nodes of a data graph. The paper's relation
+/// E(X, Y) contains each undirected edge exactly once, oriented so that the
+/// first argument precedes the second in this order (Section 2.2).
+///
+/// Three orders are used in the paper:
+///  * identity (plain node ids),
+///  * nondecreasing degree, ties by id (Lemma 7.1 and the classic O(m^{3/2})
+///    triangle algorithm), and
+///  * bucket-then-id (Section 2.3): node u is ranked by (h(u), u), which
+///    makes bucket lists of instances nondecreasing and lets most reducers
+///    be skipped (Theorem 4.2).
+class NodeOrder {
+ public:
+  /// Identity order: u < v iff u's id < v's id.
+  static NodeOrder Identity(NodeId num_nodes);
+
+  /// Nondecreasing degree, ties broken by node id.
+  static NodeOrder ByDegree(const Graph& graph);
+
+  /// Bucket-then-id order of Section 2.3 built from `hasher`.
+  static NodeOrder ByBucket(NodeId num_nodes, const BucketHasher& hasher);
+
+  /// Restricts a global order to a reducer-local subgraph: local node i
+  /// (which is `local_to_global[i]` globally) is ranked by the global rank.
+  static NodeOrder Project(const NodeOrder& global,
+                           const std::vector<NodeId>& local_to_global);
+
+  /// The reverse order (u < v here iff v < u there). Building an
+  /// OrientedAdjacency over the reversed order yields predecessor lists.
+  NodeOrder Reversed() const;
+
+  /// Rank (position) of node u in the order; ranks are a permutation of
+  /// [0, num_nodes).
+  uint32_t Rank(NodeId u) const { return rank_[u]; }
+
+  bool Less(NodeId u, NodeId v) const { return rank_[u] < rank_[v]; }
+
+  NodeId num_nodes() const { return static_cast<NodeId>(rank_.size()); }
+
+  /// Orients an undirected edge so that the first endpoint precedes the
+  /// second in this order.
+  Edge Orient(Edge e) const {
+    if (!Less(e.first, e.second)) std::swap(e.first, e.second);
+    return e;
+  }
+
+ private:
+  explicit NodeOrder(std::vector<uint32_t> rank) : rank_(std::move(rank)) {}
+
+  std::vector<uint32_t> rank_;
+};
+
+/// Forward-star adjacency under a node order: for each node u, the neighbors
+/// v with u < v, sorted ascending by rank. This is the Γ_<(v) structure of
+/// Lemma 7.1 and the workhorse of all the serial kernels.
+class OrientedAdjacency {
+ public:
+  OrientedAdjacency(const Graph& graph, const NodeOrder& order);
+
+  std::span<const NodeId> Successors(NodeId u) const {
+    return {nodes_.data() + offsets_[u], nodes_.data() + offsets_[u + 1]};
+  }
+
+  size_t OutDegree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<NodeId> nodes_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_NODE_ORDER_H_

@@ -1,0 +1,174 @@
+#include "graph/sample_graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/combinatorics.h"
+
+namespace smr {
+
+SampleGraph::SampleGraph(int num_vars, std::vector<std::pair<int, int>> edges)
+    : num_vars_(num_vars) {
+  for (auto& [a, b] : edges) {
+    if (a == b) throw std::invalid_argument("self-loop in sample graph");
+    if (a < 0 || b < 0 || a >= num_vars || b >= num_vars) {
+      throw std::invalid_argument("sample-graph edge out of range");
+    }
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges_ = std::move(edges);
+  adjacency_.assign(num_vars_, {});
+  for (const auto& [a, b] : edges_) {
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+SampleGraph SampleGraph::Triangle() {
+  return SampleGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+
+SampleGraph SampleGraph::Square() {
+  // Fig. 3: W-X, X-Y, Y-Z, W-Z.
+  return SampleGraph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+}
+
+SampleGraph SampleGraph::Lollipop() {
+  // Fig. 4: W-X plus triangle X, Y, Z.
+  return SampleGraph(4, {{0, 1}, {1, 2}, {1, 3}, {2, 3}});
+}
+
+SampleGraph SampleGraph::Cycle(int p) {
+  if (p < 3) throw std::invalid_argument("cycle needs >= 3 variables");
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < p; ++i) edges.emplace_back(i, i + 1);
+  edges.emplace_back(0, p - 1);
+  return SampleGraph(p, std::move(edges));
+}
+
+SampleGraph SampleGraph::Clique(int p) {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < p; ++a) {
+    for (int b = a + 1; b < p; ++b) edges.emplace_back(a, b);
+  }
+  return SampleGraph(p, std::move(edges));
+}
+
+SampleGraph SampleGraph::Path(int p) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < p; ++i) edges.emplace_back(i, i + 1);
+  return SampleGraph(p, std::move(edges));
+}
+
+SampleGraph SampleGraph::Star(int p) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 1; v < p; ++v) edges.emplace_back(0, v);
+  return SampleGraph(p, std::move(edges));
+}
+
+SampleGraph SampleGraph::Hypercube(int dimension) {
+  if (dimension < 1 || dimension > 4) {
+    throw std::invalid_argument("hypercube dimension out of range");
+  }
+  const int p = 1 << dimension;
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < p; ++v) {
+    for (int bit = 0; bit < dimension; ++bit) {
+      const int w = v ^ (1 << bit);
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return SampleGraph(p, std::move(edges));
+}
+
+bool SampleGraph::HasEdge(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  return std::binary_search(edges_.begin(), edges_.end(),
+                            std::make_pair(a, b));
+}
+
+bool SampleGraph::IsRegular() const {
+  if (num_vars_ == 0) return true;
+  const int d = Degree(0);
+  for (int v = 1; v < num_vars_; ++v) {
+    if (Degree(v) != d) return false;
+  }
+  return true;
+}
+
+bool SampleGraph::IsConnected() const {
+  if (num_vars_ == 0) return true;
+  std::vector<bool> seen(num_vars_, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int reached = 1;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int w : adjacency_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == num_vars_;
+}
+
+const std::vector<std::vector<int>>& SampleGraph::Automorphisms() const {
+  if (!automorphisms_.empty()) return automorphisms_;
+  for (const auto& mu : AllPermutations(num_vars_)) {
+    bool ok = true;
+    for (const auto& [a, b] : edges_) {
+      if (!HasEdge(mu[a], mu[b])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) automorphisms_.push_back(mu);
+  }
+  return automorphisms_;
+}
+
+bool SampleGraph::IsArticulation(int v) const {
+  // Count nodes reachable without passing through v; v is an articulation
+  // point iff some node other than v is unreachable. (For patterns this
+  // small, a BFS per query is plenty.)
+  if (num_vars_ <= 2) return false;
+  int start = (v == 0) ? 1 : 0;
+  std::vector<bool> seen(num_vars_, false);
+  seen[v] = true;  // blocked
+  seen[start] = true;
+  std::vector<int> stack = {start};
+  int reached = 1;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (int w : adjacency_[x]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached != num_vars_ - 1;
+}
+
+std::string SampleGraph::ToString() const {
+  std::ostringstream os;
+  os << "SampleGraph(p=" << num_vars_ << ", edges={";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << edges_[i].first << "-" << edges_[i].second;
+  }
+  os << "})";
+  return os.str();
+}
+
+}  // namespace smr

@@ -1,0 +1,69 @@
+#ifndef SMR_GRAPH_SAMPLE_GRAPH_H_
+#define SMR_GRAPH_SAMPLE_GRAPH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smr {
+
+/// The paper's *sample graph* S: a small connected (or not) undirected simple
+/// graph on p variables 0..p-1 whose instances are to be enumerated inside a
+/// data graph. Provides the automorphism group (Section 3.2), degree /
+/// regularity / connectivity queries used by the CQ generator, the shares
+/// optimizer, and the decomposition algorithms of Sections 6-7.
+class SampleGraph {
+ public:
+  /// Edges are unordered variable pairs; stored canonically (a < b), sorted,
+  /// deduplicated. Throws on self-loops or out-of-range endpoints.
+  SampleGraph(int num_vars, std::vector<std::pair<int, int>> edges);
+
+  // -- Named pattern constructors used throughout the paper. --
+  static SampleGraph Triangle();
+  /// The square of Fig. 3, variables W=0, X=1, Y=2, Z=3.
+  static SampleGraph Square();
+  /// The "lollipop" of Fig. 4: triangle X,Y,Z with pendant W.
+  /// Variables W=0, X=1, Y=2, Z=3; edges WX, XY, XZ, YZ.
+  static SampleGraph Lollipop();
+  static SampleGraph Cycle(int p);
+  static SampleGraph Clique(int p);
+  static SampleGraph Path(int p);
+  /// Star with one center (variable 0) and p-1 leaves.
+  static SampleGraph Star(int p);
+  /// Hypercube Q_d on 2^d variables (d-regular; Theorem 4.1 names
+  /// hypercubes among the regular sample graphs with equal shares).
+  static SampleGraph Hypercube(int dimension);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  bool HasEdge(int a, int b) const;
+  const std::vector<int>& Neighbors(int v) const { return adjacency_[v]; }
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// True iff every variable has the same degree (Theorem 4.1 applies).
+  bool IsRegular() const;
+  bool IsConnected() const;
+
+  /// The automorphism group: all permutations mu of the variables with
+  /// (a,b) an edge iff (mu[a], mu[b]) an edge. Computed once, brute force
+  /// over p! permutations (p is small by assumption).
+  const std::vector<std::vector<int>>& Automorphisms() const;
+
+  /// True iff v is an articulation point (its removal disconnects the
+  /// pattern); used by the bounded-degree algorithm of Theorem 7.3.
+  bool IsArticulation(int v) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_vars_;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  mutable std::vector<std::vector<int>> automorphisms_;  // lazily filled
+};
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_SAMPLE_GRAPH_H_

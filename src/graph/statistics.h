@@ -1,0 +1,42 @@
+#ifndef SMR_GRAPH_STATISTICS_H_
+#define SMR_GRAPH_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smr {
+
+/// Descriptive statistics of a data graph, used by the examples and the
+/// benchmark harness to characterize workloads (the paper's analyses are
+/// parameterized by n, m, degree distribution, and skew).
+struct GraphStatistics {
+  NodeId num_nodes = 0;
+  size_t num_edges = 0;
+  size_t max_degree = 0;
+  double mean_degree = 0;
+  /// Degree of the node at the 99th percentile (skew indicator; the "curse
+  /// of the last reducer" of [19] is driven by this).
+  size_t p99_degree = 0;
+  size_t connected_components = 0;
+  size_t largest_component = 0;
+  /// Global clustering coefficient: 3 * triangles / open 2-paths.
+  double clustering_coefficient = 0;
+
+  std::string ToString() const;
+};
+
+GraphStatistics ComputeStatistics(const Graph& graph);
+
+/// Degree histogram: result[d] = number of nodes of degree d.
+std::vector<size_t> DegreeHistogram(const Graph& graph);
+
+/// Connected-component labels (by BFS), 0-based, and the component count.
+std::pair<std::vector<uint32_t>, size_t> ConnectedComponents(
+    const Graph& graph);
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_STATISTICS_H_

@@ -1,0 +1,129 @@
+#include "joins/five_cycle_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hashing.h"
+
+namespace smr {
+
+namespace {
+
+/// Product n_i * n_{i+2} * n_{i+4} (the relation incident twice to
+/// attribute i's "side"), vs n_{i+1} * n_{i+3}.
+double AlternatingProduct(const JoinSizes& n, int i) {
+  return static_cast<double>(n[i % 5]) * n[(i + 2) % 5] * n[(i + 4) % 5];
+}
+
+double PairProduct(const JoinSizes& n, int i) {
+  return static_cast<double>(n[(i + 1) % 5]) * n[(i + 3) % 5];
+}
+
+}  // namespace
+
+JoinSizes Rotate(const JoinSizes& sizes, int r) {
+  JoinSizes rotated;
+  for (int i = 0; i < 5; ++i) rotated[i] = sizes[(i + r) % 5];
+  return rotated;
+}
+
+bool CaseAHolds(const JoinSizes& sizes) {
+  for (int i = 0; i < 5; ++i) {
+    if (AlternatingProduct(sizes, i) < PairProduct(sizes, i)) return false;
+  }
+  return true;
+}
+
+double JoinOutputBound(const JoinSizes& sizes) {
+  if (CaseAHolds(sizes)) {
+    double product = 1;
+    for (uint64_t n : sizes) product *= static_cast<double>(n);
+    return std::sqrt(product);
+  }
+  double best = -1;
+  for (int i = 0; i < 5; ++i) {
+    if (AlternatingProduct(sizes, i) <= PairProduct(sizes, i)) {
+      const double bound = AlternatingProduct(sizes, i);
+      if (best < 0 || bound < best) best = bound;
+    }
+  }
+  return best;
+}
+
+std::array<BinaryRelation, 5> CaseAWitness(const JoinSizes& sizes) {
+  // Attribute k sits between R_{k-1} and R_k (A between R5 and R1, etc.).
+  // Its domain size is sqrt(product of the two incident relations and the
+  // opposite relation over the other two).
+  std::array<uint32_t, 5> domain;
+  for (int attr = 0; attr < 5; ++attr) {
+    // Attribute attr is shared by relations (attr+4)%5 and attr; the
+    // opposite relation is (attr+2)%5; the remaining two are (attr+1)%5 and
+    // (attr+3)%5.
+    const double num = static_cast<double>(sizes[(attr + 4) % 5]) *
+                       sizes[attr] * sizes[(attr + 2) % 5];
+    const double den =
+        static_cast<double>(sizes[(attr + 1) % 5]) * sizes[(attr + 3) % 5];
+    domain[attr] =
+        std::max<uint32_t>(1, static_cast<uint32_t>(std::sqrt(num / den)));
+  }
+  std::array<BinaryRelation, 5> relations;
+  for (int r = 0; r < 5; ++r) {
+    // Relation r joins attribute r (left) to attribute (r+1)%5 (right).
+    for (uint32_t a = 0; a < domain[r]; ++a) {
+      for (uint32_t b = 0; b < domain[(r + 1) % 5]; ++b) {
+        relations[r].emplace_back(a, b);
+      }
+    }
+  }
+  return relations;
+}
+
+std::array<BinaryRelation, 5> CaseBWitness(const JoinSizes& sizes) {
+  const auto [n1, n2, n3, n4, n5] =
+      std::tuple{sizes[0], sizes[1], sizes[2], sizes[3], sizes[4]};
+  if (n2 < n1 * n3 || n4 < n3 * n5) {
+    throw std::invalid_argument(
+        "CaseBWitness needs n2 >= n1*n3 and n4 >= n3*n5");
+  }
+  std::array<BinaryRelation, 5> relations;
+  // One shared A value (0). R1 = {0} x [n1] over B; R5 = [n5] x {0} over
+  // (E, A); R3 = n3 distinct (C, D) pairs; R2/R4 the forced combinations.
+  for (uint32_t b = 0; b < n1; ++b) relations[0].emplace_back(0, b);
+  for (uint32_t e = 0; e < n5; ++e) relations[4].emplace_back(e, 0);
+  for (uint32_t c = 0; c < n3; ++c) relations[2].emplace_back(c, c);
+  for (uint32_t b = 0; b < n1; ++b) {
+    for (uint32_t c = 0; c < n3; ++c) relations[1].emplace_back(b, c);
+  }
+  for (uint32_t d = 0; d < n3; ++d) {
+    for (uint32_t e = 0; e < n5; ++e) relations[3].emplace_back(d, e);
+  }
+  return relations;
+}
+
+uint64_t CountFiveCycleJoin(const std::array<BinaryRelation, 5>& relations) {
+  // Index R5 by A, and R2 / R4 as pair sets for O(1) probes.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> r5_by_a;
+  for (const auto& [e, a] : relations[4]) r5_by_a[a].push_back(e);
+  std::unordered_set<uint64_t, IdHash> r2_pairs;
+  for (const auto& [b, c] : relations[1]) r2_pairs.insert(PackPair(b, c));
+  std::unordered_set<uint64_t, IdHash> r4_pairs;
+  for (const auto& [d, e] : relations[3]) r4_pairs.insert(PackPair(d, e));
+
+  uint64_t count = 0;
+  for (const auto& [a, b] : relations[0]) {
+    const auto it = r5_by_a.find(a);
+    if (it == r5_by_a.end()) continue;
+    for (const auto& [c, d] : relations[2]) {
+      if (r2_pairs.count(PackPair(b, c)) == 0) continue;
+      for (uint32_t e : it->second) {
+        if (r4_pairs.count(PackPair(d, e)) > 0) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace smr

@@ -1,0 +1,261 @@
+#include "labeled/labeled_enumeration.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "cq/cq_evaluator.h"
+#include "graph/node_order.h"
+#include "graph/subgraph.h"
+#include "mapreduce/engine.h"
+#include "util/combinatorics.h"
+
+namespace smr {
+
+std::vector<LabeledCq> LabeledCqsForSample(const LabeledSampleGraph& pattern) {
+  const auto& automorphisms = pattern.Automorphisms();
+  const SampleGraph& skeleton = pattern.skeleton();
+  // Quotient representatives under the label-preserving group.
+  std::vector<ConjunctiveQuery> raw;
+  std::vector<int> relabeled(skeleton.num_vars());
+  for (const auto& order : AllPermutations(skeleton.num_vars())) {
+    bool smallest = true;
+    for (const auto& mu : automorphisms) {
+      for (size_t i = 0; i < order.size(); ++i) relabeled[i] = mu[order[i]];
+      if (std::lexicographical_compare(relabeled.begin(), relabeled.end(),
+                                       order.begin(), order.end())) {
+        smallest = false;
+        break;
+      }
+    }
+    if (smallest) raw.push_back(ConjunctiveQuery::ForOrder(skeleton, order));
+  }
+  // Merge by orientation. Labels are a function of the unordered pattern
+  // edge, so CQs with equal subgoals always agree on labels.
+  std::map<std::vector<std::pair<int, int>>, size_t> index_of;
+  std::vector<LabeledCq> merged;
+  for (const ConjunctiveQuery& cq : raw) {
+    auto [it, inserted] = index_of.emplace(cq.subgoals(), merged.size());
+    if (inserted) {
+      std::vector<EdgeLabel> labels;
+      labels.reserve(cq.subgoals().size());
+      for (const auto& [a, b] : cq.subgoals()) {
+        labels.push_back(pattern.LabelOf(a, b));
+      }
+      merged.push_back(LabeledCq{cq, std::move(labels)});
+    } else {
+      merged[it->second].cq.MergeCondition(cq);
+    }
+  }
+  return merged;
+}
+
+uint64_t EnumerateLabeledInstances(const LabeledSampleGraph& pattern,
+                                   const LabeledGraph& graph,
+                                   InstanceSink* sink, CostCounter* cost) {
+  const SampleGraph& skeleton = pattern.skeleton();
+  const int p = skeleton.num_vars();
+  const auto& automorphisms = pattern.Automorphisms();
+
+  std::vector<NodeId> assignment(p, 0);
+  std::vector<bool> bound(p, false);
+  uint64_t found = 0;
+
+  // Variable order: each new variable adjacent to a bound one when possible.
+  std::vector<int> var_order;
+  {
+    std::vector<bool> placed(p, false);
+    for (int step = 0; step < p; ++step) {
+      int best = -1;
+      int best_bound = -1;
+      for (int v = 0; v < p; ++v) {
+        if (placed[v]) continue;
+        int bound_nbrs = 0;
+        for (int w : skeleton.Neighbors(v)) {
+          if (placed[w]) ++bound_nbrs;
+        }
+        if (bound_nbrs > best_bound) {
+          best = v;
+          best_bound = bound_nbrs;
+        }
+      }
+      placed[best] = true;
+      var_order.push_back(best);
+    }
+  }
+
+  std::function<void(size_t)> match = [&](size_t depth) {
+    if (depth == var_order.size()) {
+      bool canonical = true;
+      for (const auto& mu : automorphisms) {
+        for (int x = 0; x < p; ++x) {
+          const NodeId lhs = assignment[x];
+          const NodeId rhs = assignment[mu[x]];
+          if (lhs < rhs) break;
+          if (lhs > rhs) {
+            canonical = false;
+            break;
+          }
+        }
+        if (!canonical) break;
+      }
+      if (!canonical) return;
+      ++found;
+      if (cost != nullptr) ++cost->outputs;
+      if (sink != nullptr) sink->Emit(assignment);
+      return;
+    }
+    const int var = var_order[depth];
+    int anchor = -1;
+    for (int nbr : skeleton.Neighbors(var)) {
+      if (bound[nbr]) {
+        anchor = nbr;
+        break;
+      }
+    }
+    auto try_node = [&](NodeId node) {
+      if (cost != nullptr) ++cost->candidates;
+      for (int x = 0; x < p; ++x) {
+        if (bound[x] && assignment[x] == node) return;
+      }
+      for (int nbr : skeleton.Neighbors(var)) {
+        if (!bound[nbr]) continue;
+        if (cost != nullptr) ++cost->index_probes;
+        if (!graph.HasLabeledEdge(node, assignment[nbr],
+                                  pattern.LabelOf(var, nbr))) {
+          return;
+        }
+      }
+      assignment[var] = node;
+      bound[var] = true;
+      match(depth + 1);
+      bound[var] = false;
+    };
+    if (anchor >= 0) {
+      for (NodeId node : graph.skeleton().Neighbors(assignment[anchor])) {
+        try_node(node);
+      }
+    } else {
+      for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+        try_node(node);
+      }
+    }
+  };
+  match(0);
+  return found;
+}
+
+namespace {
+
+uint64_t PackDigits(const std::vector<int>& digits, int base) {
+  uint64_t key = 0;
+  for (int d : digits) key = key * base + static_cast<uint64_t>(d);
+  return key;
+}
+
+std::vector<int> UnpackDigits(uint64_t key, int base, int count) {
+  std::vector<int> digits(count);
+  for (int i = count - 1; i >= 0; --i) {
+    digits[i] = static_cast<int>(key % base);
+    key /= base;
+  }
+  return digits;
+}
+
+}  // namespace
+
+MapReduceMetrics LabeledBucketOrientedEnumerate(
+    const LabeledSampleGraph& pattern, const LabeledGraph& graph, int buckets,
+    uint64_t seed, InstanceSink* sink) {
+  const int p = pattern.num_vars();
+  const BucketHasher hasher(buckets, seed);
+  const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
+  const uint64_t key_space = Binomial(buckets + p - 1, p);
+  const auto cqs = LabeledCqsForSample(pattern);
+  const std::vector<std::vector<int>> paddings =
+      NondecreasingSequences(buckets, p - 2);
+
+  auto map_fn = [&](const LabeledEdge& edge, Emitter<LabeledEdge>* out) {
+    const Edge oriented = order.Orient({edge.u, edge.v});
+    const int i = hasher.Bucket(oriented.first);
+    const int j = hasher.Bucket(oriented.second);
+    std::vector<int> multiset(p);
+    for (const auto& padding : paddings) {
+      multiset.assign(padding.begin(), padding.end());
+      multiset.push_back(i);
+      multiset.push_back(j);
+      std::sort(multiset.begin(), multiset.end());
+      out->Emit(PackDigits(multiset, buckets),
+                LabeledEdge{oriented.first, oriented.second, edge.label});
+    }
+  };
+
+  auto reduce_fn = [&](uint64_t key, std::span<const LabeledEdge> values,
+                       ReduceContext* context) {
+    const std::vector<int> own = UnpackDigits(key, buckets, p);
+    std::vector<Edge> skeleton_edges;
+    skeleton_edges.reserve(values.size());
+    for (const auto& e : values) skeleton_edges.emplace_back(e.u, e.v);
+    const Subgraph local = BuildSubgraph(skeleton_edges);
+    context->cost->edges_scanned += values.size();
+    const NodeOrder local_order =
+        NodeOrder::Project(order, local.local_to_global);
+    const CqEvaluator evaluator(local.graph, local_order);
+
+    // Sink: translate to global ids, check labels, check bucket multiset.
+    class LabeledSink : public InstanceSink {
+     public:
+      LabeledSink(const Subgraph& local, const LabeledGraph& graph,
+                  const LabeledCq** current, const BucketHasher& hasher,
+                  const std::vector<int>& own, ReduceContext* context)
+          : local_(local),
+            graph_(graph),
+            current_(current),
+            hasher_(hasher),
+            own_(own),
+            context_(context) {}
+
+      void Emit(std::span<const NodeId> assignment) override {
+        scratch_.assign(assignment.size(), 0);
+        for (size_t i = 0; i < assignment.size(); ++i) {
+          scratch_[i] = local_.local_to_global[assignment[i]];
+        }
+        const LabeledCq& lcq = **current_;
+        for (size_t s = 0; s < lcq.cq.subgoals().size(); ++s) {
+          const auto& [a, b] = lcq.cq.subgoals()[s];
+          if (!graph_.HasLabeledEdge(scratch_[a], scratch_[b],
+                                     lcq.labels[s])) {
+            return;
+          }
+        }
+        std::vector<int> got;
+        got.reserve(scratch_.size());
+        for (NodeId node : scratch_) got.push_back(hasher_.Bucket(node));
+        std::sort(got.begin(), got.end());
+        if (got != own_) return;
+        context_->EmitInstance(scratch_);
+      }
+
+     private:
+      const Subgraph& local_;
+      const LabeledGraph& graph_;
+      const LabeledCq** current_;
+      const BucketHasher& hasher_;
+      const std::vector<int>& own_;
+      ReduceContext* context_;
+      std::vector<NodeId> scratch_;
+    };
+
+    const LabeledCq* current = nullptr;
+    LabeledSink labeled_sink(local, graph, &current, hasher, own, context);
+    for (const LabeledCq& lcq : cqs) {
+      current = &lcq;
+      evaluator.Evaluate(lcq.cq, &labeled_sink, context->cost);
+    }
+  };
+
+  return RunSingleRound<LabeledEdge, LabeledEdge>(
+      graph.labeled_edges(), map_fn, reduce_fn, sink, key_space);
+}
+
+}  // namespace smr

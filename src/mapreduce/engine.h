@@ -1,0 +1,104 @@
+#ifndef SMR_MAPREDUCE_ENGINE_H_
+#define SMR_MAPREDUCE_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/instance_sink.h"
+#include "mapreduce/metrics.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// Execution substrate: a faithful simulator of one round of map-reduce
+/// (map -> shuffle/group-by-key -> reduce), the model of [11] that the whole
+/// paper is expressed in. Keys are 64-bit reducer ids; values are an
+/// algorithm-chosen POD. The engine measures exactly the quantities the
+/// paper optimizes (Section 1.2): key-value pairs shipped (communication
+/// cost), distinct keys (reducers), skew, and the reducers' instrumented
+/// computation cost.
+///
+/// The shuffle is sort-based and fully deterministic: values arrive at each
+/// reducer in mapper emission order, reducers run in ascending key order.
+
+/// Collects the key-value pairs emitted by a mapper.
+template <typename Value>
+class Emitter {
+ public:
+  explicit Emitter(std::vector<std::pair<uint64_t, Value>>* out)
+      : out_(out) {}
+
+  void Emit(uint64_t key, const Value& value) { out_->emplace_back(key, value); }
+
+ private:
+  std::vector<std::pair<uint64_t, Value>>* out_;
+};
+
+/// Per-reducer context: instrumented cost and the output sink.
+struct ReduceContext {
+  CostCounter* cost;
+  InstanceSink* sink;
+  uint64_t outputs = 0;
+
+  void EmitInstance(std::span<const NodeId> assignment) {
+    ++outputs;
+    ++cost->outputs;
+    if (sink != nullptr) sink->Emit(assignment);
+  }
+};
+
+/// Runs one round. `map_fn` is applied to every input and emits key-value
+/// pairs; `reduce_fn` is invoked once per distinct key with all its values.
+/// `key_space` is the size of the reducer id space the algorithm declared
+/// (purely informational, copied into the metrics).
+template <typename Input, typename Value>
+MapReduceMetrics RunSingleRound(
+    std::span<const Input> inputs,
+    const std::function<void(const Input&, Emitter<Value>*)>& map_fn,
+    const std::function<void(uint64_t key, std::span<const Value>,
+                             ReduceContext*)>& reduce_fn,
+    InstanceSink* sink, uint64_t key_space) {
+  MapReduceMetrics metrics;
+  metrics.input_records = inputs.size();
+  metrics.key_space = key_space;
+
+  // Map phase.
+  std::vector<std::pair<uint64_t, Value>> pairs;
+  Emitter<Value> emitter(&pairs);
+  for (const Input& input : inputs) {
+    map_fn(input, &emitter);
+  }
+  metrics.key_value_pairs = pairs.size();
+  metrics.bytes = pairs.size() * (sizeof(uint64_t) + sizeof(Value));
+
+  // Shuffle: group by key, preserving emission order within a key.
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Reduce phase.
+  std::vector<Value> group;
+  size_t i = 0;
+  while (i < pairs.size()) {
+    const uint64_t key = pairs[i].first;
+    group.clear();
+    while (i < pairs.size() && pairs[i].first == key) {
+      group.push_back(pairs[i].second);
+      ++i;
+    }
+    ++metrics.distinct_keys;
+    metrics.max_reducer_input =
+        std::max<uint64_t>(metrics.max_reducer_input, group.size());
+    ReduceContext context{&metrics.reduce_cost, sink};
+    reduce_fn(key, std::span<const Value>(group), &context);
+    metrics.outputs += context.outputs;
+  }
+  return metrics;
+}
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,30 @@
+#include "mapreduce/instance_sink.h"
+
+namespace smr {
+
+InstanceKey MakeInstanceKey(std::span<const std::pair<int, int>> pattern_edges,
+                            std::span<const NodeId> assignment) {
+  InstanceKey key;
+  key.reserve(pattern_edges.size());
+  for (const auto& [a, b] : pattern_edges) {
+    NodeId u = assignment[a];
+    NodeId v = assignment[b];
+    if (u > v) std::swap(u, v);
+    key.emplace_back(u, v);
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+std::vector<InstanceKey> CollectingSink::Keys(
+    std::span<const std::pair<int, int>> pattern_edges) const {
+  std::vector<InstanceKey> keys;
+  keys.reserve(assignments_.size());
+  for (const auto& assignment : assignments_) {
+    keys.push_back(MakeInstanceKey(pattern_edges, assignment));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace smr

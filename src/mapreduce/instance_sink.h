@@ -1,0 +1,67 @@
+#ifndef SMR_MAPREDUCE_INSTANCE_SINK_H_
+#define SMR_MAPREDUCE_INSTANCE_SINK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace smr {
+
+/// An instance of the sample graph inside the data graph, identified by its
+/// edge set in the data graph, canonically sorted. Two embeddings that are
+/// related by an automorphism of the sample graph map to the same
+/// InstanceKey, so the "each instance exactly once" guarantee of the paper
+/// is checkable by comparing multisets of InstanceKeys.
+using InstanceKey = std::vector<Edge>;
+
+/// Builds the canonical key from the image edges of an embedding.
+/// `pattern_edges` are the sample-graph edges (pairs of variable indices);
+/// `assignment[x]` is the data-graph node bound to variable x.
+InstanceKey MakeInstanceKey(std::span<const std::pair<int, int>> pattern_edges,
+                            std::span<const NodeId> assignment);
+
+/// Receives instances emitted by reducers / serial kernels.
+class InstanceSink {
+ public:
+  virtual ~InstanceSink() = default;
+
+  /// `assignment[x]` = data-graph node bound to sample-graph variable x.
+  virtual void Emit(std::span<const NodeId> assignment) = 0;
+};
+
+/// Counts instances without storing them (benchmark mode).
+class CountingSink : public InstanceSink {
+ public:
+  void Emit(std::span<const NodeId>) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Stores every emitted assignment (test mode).
+class CollectingSink : public InstanceSink {
+ public:
+  void Emit(std::span<const NodeId> assignment) override {
+    assignments_.emplace_back(assignment.begin(), assignment.end());
+  }
+
+  const std::vector<std::vector<NodeId>>& assignments() const {
+    return assignments_;
+  }
+
+  /// Canonical instance keys (sorted, duplicates preserved) for multiset
+  /// comparison against a ground-truth enumeration.
+  std::vector<InstanceKey> Keys(
+      std::span<const std::pair<int, int>> pattern_edges) const;
+
+ private:
+  std::vector<std::vector<NodeId>> assignments_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_INSTANCE_SINK_H_

@@ -1,0 +1,23 @@
+#include "mapreduce/metrics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace smr {
+
+std::string MapReduceMetrics::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
+  os << "inputs=" << m.input_records << " kv_pairs=" << m.key_value_pairs
+     << " replication=" << m.ReplicationRate()
+     << " reducers_used=" << m.distinct_keys << " key_space=" << m.key_space
+     << " max_reducer_input=" << m.max_reducer_input
+     << " reduce_ops=" << m.reduce_cost.Total() << " outputs=" << m.outputs;
+  return os;
+}
+
+}  // namespace smr

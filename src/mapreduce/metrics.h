@@ -1,0 +1,48 @@
+#ifndef SMR_MAPREDUCE_METRICS_H_
+#define SMR_MAPREDUCE_METRICS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// Cost measures of one map-reduce round, following Section 1.2 of the
+/// paper:
+///  * communication cost = number of key-value pairs sent from the mappers
+///    to the reducers (`key_value_pairs`; `bytes` scales it by value size);
+///  * number of reducers = number of distinct keys
+///    (`distinct_keys` counts keys that received data, `key_space` is the
+///    size of the reducer space the algorithm declared, e.g. b^3 or
+///    C(b+p-1, p));
+///  * computation cost = instrumented operation count summed over all
+///    reducers (`reduce_cost`), plus the skew indicator `max_reducer_input`.
+struct MapReduceMetrics {
+  uint64_t input_records = 0;
+  uint64_t key_value_pairs = 0;
+  uint64_t bytes = 0;
+  uint64_t distinct_keys = 0;
+  uint64_t key_space = 0;
+  uint64_t max_reducer_input = 0;
+  uint64_t outputs = 0;
+  CostCounter reduce_cost;
+
+  /// Communication cost per input record (the paper reports replication
+  /// rates such as "b per edge", Section 2.3).
+  double ReplicationRate() const {
+    return input_records == 0
+               ? 0.0
+               : static_cast<double>(key_value_pairs) /
+                     static_cast<double>(input_records);
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m);
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_METRICS_H_

@@ -1,0 +1,157 @@
+#include "serial/bounded_degree.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace smr {
+
+namespace {
+
+/// True iff `v` is an articulation point of the sub-pattern induced by the
+/// variables with alive[v] == true.
+bool IsArticulationInAlive(const SampleGraph& pattern,
+                           const std::vector<bool>& alive, int v) {
+  int start = -1;
+  int alive_count = 0;
+  for (int x = 0; x < pattern.num_vars(); ++x) {
+    if (!alive[x]) continue;
+    ++alive_count;
+    if (x != v && start < 0) start = x;
+  }
+  if (alive_count <= 2) return false;
+  std::vector<bool> seen(pattern.num_vars(), false);
+  seen[v] = true;
+  seen[start] = true;
+  std::vector<int> stack = {start};
+  int reached = 1;
+  while (!stack.empty()) {
+    const int x = stack.back();
+    stack.pop_back();
+    for (int w : pattern.Neighbors(x)) {
+      if (!alive[w] || seen[w]) continue;
+      seen[w] = true;
+      ++reached;
+      stack.push_back(w);
+    }
+  }
+  return reached != alive_count - 1;
+}
+
+}  // namespace
+
+std::vector<int> BoundedDegreeAssignmentOrder(const SampleGraph& pattern) {
+  const int p = pattern.num_vars();
+  std::vector<bool> alive(p, true);
+  std::vector<int> removal;
+  // Peel non-articulation variables until two adjacent variables remain.
+  for (int remaining = p; remaining > 2; --remaining) {
+    int pick = -1;
+    for (int v = 0; v < p; ++v) {
+      if (!alive[v]) continue;
+      if (!IsArticulationInAlive(pattern, alive, v)) {
+        pick = v;
+        break;
+      }
+    }
+    // A connected graph always has a non-articulation vertex.
+    alive[pick] = false;
+    removal.push_back(pick);
+  }
+  std::vector<int> order;
+  for (int v = 0; v < p; ++v) {
+    if (alive[v]) order.push_back(v);
+  }
+  std::reverse(removal.begin(), removal.end());
+  order.insert(order.end(), removal.begin(), removal.end());
+  return order;
+}
+
+uint64_t EnumerateBoundedDegree(const SampleGraph& pattern, const Graph& graph,
+                                InstanceSink* sink, CostCounter* cost) {
+  const int p = pattern.num_vars();
+  if (p < 2 || !pattern.IsConnected()) {
+    throw std::invalid_argument(
+        "bounded-degree algorithm needs a connected pattern with p >= 2");
+  }
+  const std::vector<int> order = BoundedDegreeAssignmentOrder(pattern);
+  const auto& automorphisms = pattern.Automorphisms();
+
+  std::vector<NodeId> assignment(p, 0);
+  std::vector<bool> bound(p, false);
+  uint64_t found = 0;
+
+  std::function<void(int)> extend = [&](int depth) {
+    if (depth == p) {
+      bool canonical = true;
+      for (const auto& mu : automorphisms) {
+        for (int x = 0; x < p; ++x) {
+          const NodeId lhs = assignment[x];
+          const NodeId rhs = assignment[mu[x]];
+          if (lhs < rhs) break;
+          if (lhs > rhs) {
+            canonical = false;
+            break;
+          }
+        }
+        if (!canonical) break;
+      }
+      if (!canonical) return;
+      ++found;
+      if (cost != nullptr) ++cost->outputs;
+      if (sink != nullptr) sink->Emit(assignment);
+      return;
+    }
+    const int var = order[depth];
+    // Anchor: an already-bound neighbor (exists by construction of order).
+    int anchor = -1;
+    for (int w : pattern.Neighbors(var)) {
+      if (bound[w]) {
+        anchor = w;
+        break;
+      }
+    }
+    for (NodeId node : graph.Neighbors(assignment[anchor])) {
+      if (cost != nullptr) ++cost->candidates;
+      bool ok = true;
+      for (int x = 0; x < p; ++x) {
+        if (bound[x] && assignment[x] == node) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (int w : pattern.Neighbors(var)) {
+        if (!bound[w] || w == anchor) continue;
+        if (cost != nullptr) ++cost->index_probes;
+        if (!graph.HasEdge(node, assignment[w])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      assignment[var] = node;
+      bound[var] = true;
+      extend(depth + 1);
+      bound[var] = false;
+    }
+  };
+
+  // Base case: the first two variables form an edge of S; scan all data
+  // edges in both orientations.
+  const int v0 = order[0];
+  const int v1 = order[1];
+  for (const Edge& e : graph.edges()) {
+    if (cost != nullptr) ++cost->edges_scanned;
+    for (int flip = 0; flip < 2; ++flip) {
+      assignment[v0] = flip == 0 ? e.first : e.second;
+      assignment[v1] = flip == 0 ? e.second : e.first;
+      bound[v0] = bound[v1] = true;
+      extend(2);
+      bound[v0] = bound[v1] = false;
+    }
+  }
+  return found;
+}
+
+}  // namespace smr

@@ -1,0 +1,50 @@
+#include "serial/convertible.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace smr {
+
+std::string SerialCost::ToString() const {
+  std::ostringstream os;
+  os << "O(n^" << alpha << " m^" << beta << ")";
+  return os.str();
+}
+
+bool IsConvertible(const SerialCost& cost, int p) {
+  return static_cast<double>(p) <= cost.alpha + 2 * cost.beta + 1e-9;
+}
+
+SerialCost Combine(const SerialCost& a, const SerialCost& b) {
+  return SerialCost{a.alpha + b.alpha, a.beta + b.beta};
+}
+
+SerialCost CostOfDecomposition(const Decomposition& decomposition) {
+  SerialCost total{0, 0};
+  for (const auto& part : decomposition.parts) {
+    switch (part.kind) {
+      case Decomposition::Kind::kIsolated:
+        total = Combine(total, SerialCost{1, 0});
+        break;
+      case Decomposition::Kind::kEdge:
+        total = Combine(total, SerialCost{0, 1});
+        break;
+      case Decomposition::Kind::kOddHamiltonian:
+        total = Combine(
+            total,
+            SerialCost{0, static_cast<double>(part.vars.size()) / 2.0});
+        break;
+    }
+  }
+  return total;
+}
+
+SerialCost BestDecompositionCost(const SampleGraph& pattern) {
+  const auto decomposition = DecomposeSample(pattern);
+  if (!decomposition.has_value()) {
+    throw std::invalid_argument("empty pattern has no decomposition");
+  }
+  return CostOfDecomposition(*decomposition);
+}
+
+}  // namespace smr

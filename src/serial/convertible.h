@@ -1,0 +1,42 @@
+#ifndef SMR_SERIAL_CONVERTIBLE_H_
+#define SMR_SERIAL_CONVERTIBLE_H_
+
+#include <string>
+
+#include "graph/sample_graph.h"
+#include "serial/decomposition.h"
+
+namespace smr {
+
+/// An (alpha, beta)-algorithm (Section 6.2): a serial enumeration algorithm
+/// running in O(n^alpha * m^beta) on a data graph with n nodes and m edges.
+struct SerialCost {
+  double alpha = 0;
+  double beta = 0;
+
+  std::string ToString() const;
+};
+
+/// Theorem 6.1: a serial O(n^alpha m^beta) algorithm for a p-variable sample
+/// graph converts into a map-reduce algorithm of the same total computation
+/// cost iff p <= alpha + 2*beta (hashing to b buckets multiplies total work
+/// by b^{p - alpha - 2*beta}).
+bool IsConvertible(const SerialCost& cost, int p);
+
+/// Lemma 6.1: combining (a1,b1)- and (a2,b2)-algorithms for a node
+/// partition of S gives an (a1+a2, b1+b2)-algorithm.
+SerialCost Combine(const SerialCost& a, const SerialCost& b);
+
+/// Theorem 7.2: a decomposition with q isolated nodes out of p gives a
+/// (q, (p-q)/2)-algorithm (edges contribute (0,1), odd Hamiltonian parts of
+/// size s contribute (0,s/2), isolated nodes contribute (1,0)).
+SerialCost CostOfDecomposition(const Decomposition& decomposition);
+
+/// The best decomposition-based cost for `pattern` (minimum-q decomposition
+/// run through CostOfDecomposition). This matches the worst-case lower bound
+/// of [4] for decomposable sample graphs.
+SerialCost BestDecompositionCost(const SampleGraph& pattern);
+
+}  // namespace smr
+
+#endif  // SMR_SERIAL_CONVERTIBLE_H_

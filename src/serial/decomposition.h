@@ -1,0 +1,54 @@
+#ifndef SMR_SERIAL_DECOMPOSITION_H_
+#define SMR_SERIAL_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/sample_graph.h"
+#include "mapreduce/instance_sink.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// A decomposition of the sample graph into node-disjoint parts in the sense
+/// of Theorem 7.2: isolated nodes, single edges, and subgraphs containing an
+/// odd-length Hamilton cycle. Cross edges of S between parts are checked at
+/// combination time (Lemma 6.1).
+struct Decomposition {
+  enum class Kind { kIsolated, kEdge, kOddHamiltonian };
+
+  struct Part {
+    Kind kind;
+    /// Variables of the part. For kOddHamiltonian they are listed in
+    /// Hamilton-cycle order.
+    std::vector<int> vars;
+  };
+
+  std::vector<Part> parts;
+
+  /// Number of isolated-node parts (the q of Theorem 7.2).
+  int IsolatedCount() const;
+
+  std::string ToString() const;
+};
+
+/// Searches for a decomposition with the fewest isolated nodes (it always
+/// pays to trade n^2 for m, Section 7.2). Exhaustive over set partitions;
+/// patterns are small. Returns nullopt only for the empty pattern.
+std::optional<Decomposition> DecomposeSample(const SampleGraph& pattern);
+
+/// Lemma 6.1 / Theorem 7.2: enumerates all instances of `pattern` by
+/// enumerating instances of each part and joining them with disjointness,
+/// cross-edge, and lexicographic-first checks. Exact — each instance is
+/// produced exactly once. Returns the instance count.
+uint64_t EnumerateByDecomposition(const SampleGraph& pattern,
+                                  const Decomposition& decomposition,
+                                  const Graph& graph, InstanceSink* sink,
+                                  CostCounter* cost);
+
+}  // namespace smr
+
+#endif  // SMR_SERIAL_DECOMPOSITION_H_

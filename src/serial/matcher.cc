@@ -1,0 +1,139 @@
+#include "serial/matcher.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace smr {
+
+namespace {
+
+/// Backtracking state shared across recursion levels.
+struct MatchState {
+  const SampleGraph* pattern;
+  const Graph* graph;
+  InstanceSink* sink;
+  CostCounter* cost;
+  std::vector<int> var_order;        // variables in assignment order
+  std::vector<NodeId> assignment;    // by variable index
+  std::vector<bool> bound;           // by variable index
+  const std::vector<std::vector<int>>* automorphisms;
+  uint64_t found = 0;
+};
+
+/// Accepts an embedding iff its tuple is lexicographically minimal among all
+/// compositions with pattern automorphisms.
+bool IsCanonicalEmbedding(const MatchState& s) {
+  const auto& assignment = s.assignment;
+  for (const auto& mu : *s.automorphisms) {
+    // Compare assignment with assignment o mu, i.e. x -> assignment[mu[x]].
+    for (size_t x = 0; x < assignment.size(); ++x) {
+      const NodeId lhs = assignment[x];
+      const NodeId rhs = assignment[mu[x]];
+      if (lhs < rhs) break;              // original is smaller: next mu
+      if (lhs > rhs) return false;       // a smaller relabeling exists
+    }
+  }
+  return true;
+}
+
+void Match(MatchState* s, size_t depth) {
+  if (depth == s->var_order.size()) {
+    if (IsCanonicalEmbedding(*s)) {
+      ++s->found;
+      if (s->cost != nullptr) ++s->cost->outputs;
+      if (s->sink != nullptr) s->sink->Emit(s->assignment);
+    }
+    return;
+  }
+  const int var = s->var_order[depth];
+  // Candidate generation: prefer neighbors of an already-bound neighbor.
+  int anchor = -1;
+  for (int nbr : s->pattern->Neighbors(var)) {
+    if (s->bound[nbr]) {
+      anchor = nbr;
+      break;
+    }
+  }
+
+  auto try_node = [&](NodeId node) {
+    if (s->cost != nullptr) ++s->cost->candidates;
+    // Distinctness.
+    for (size_t x = 0; x < s->assignment.size(); ++x) {
+      if (s->bound[x] && s->assignment[x] == node) return;
+    }
+    // All pattern edges to bound variables must exist in the data graph.
+    for (int nbr : s->pattern->Neighbors(var)) {
+      if (!s->bound[nbr]) continue;
+      if (s->cost != nullptr) ++s->cost->index_probes;
+      if (!s->graph->HasEdge(node, s->assignment[nbr])) return;
+    }
+    s->assignment[var] = node;
+    s->bound[var] = true;
+    Match(s, depth + 1);
+    s->bound[var] = false;
+  };
+
+  if (anchor >= 0) {
+    for (NodeId node : s->graph->Neighbors(s->assignment[anchor])) {
+      try_node(node);
+    }
+  } else {
+    for (NodeId node = 0; node < s->graph->num_nodes(); ++node) {
+      try_node(node);
+    }
+  }
+}
+
+/// Orders variables so each (when possible) has a previously-bound neighbor,
+/// starting from a maximum-degree variable. This keeps candidate sets small.
+std::vector<int> ChooseVariableOrder(const SampleGraph& pattern) {
+  const int p = pattern.num_vars();
+  std::vector<int> order;
+  std::vector<bool> placed(p, false);
+  while (static_cast<int>(order.size()) < p) {
+    int best = -1;
+    int best_bound_nbrs = -1;
+    int best_degree = -1;
+    for (int v = 0; v < p; ++v) {
+      if (placed[v]) continue;
+      int bound_nbrs = 0;
+      for (int w : pattern.Neighbors(v)) {
+        if (placed[w]) ++bound_nbrs;
+      }
+      const int degree = pattern.Degree(v);
+      if (bound_nbrs > best_bound_nbrs ||
+          (bound_nbrs == best_bound_nbrs && degree > best_degree)) {
+        best = v;
+        best_bound_nbrs = bound_nbrs;
+        best_degree = degree;
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+}  // namespace
+
+uint64_t EnumerateInstances(const SampleGraph& pattern, const Graph& graph,
+                            InstanceSink* sink, CostCounter* cost) {
+  if (pattern.num_vars() == 0) return 0;
+  MatchState state;
+  state.pattern = &pattern;
+  state.graph = &graph;
+  state.sink = sink;
+  state.cost = cost;
+  state.var_order = ChooseVariableOrder(pattern);
+  state.assignment.assign(pattern.num_vars(), 0);
+  state.bound.assign(pattern.num_vars(), false);
+  state.automorphisms = &pattern.Automorphisms();
+  Match(&state, 0);
+  return state.found;
+}
+
+uint64_t CountInstances(const SampleGraph& pattern, const Graph& graph) {
+  return EnumerateInstances(pattern, graph, nullptr, nullptr);
+}
+
+}  // namespace smr

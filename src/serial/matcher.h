@@ -1,0 +1,35 @@
+#ifndef SMR_SERIAL_MATCHER_H_
+#define SMR_SERIAL_MATCHER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/sample_graph.h"
+#include "mapreduce/instance_sink.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// Ground-truth serial enumeration of all instances of `pattern` in `graph`,
+/// each exactly once. An *instance* is a subgraph of the data graph
+/// isomorphic to the sample graph (extra data-graph edges among the chosen
+/// nodes are allowed, matching the paper's join semantics). Duplicate
+/// embeddings related by an automorphism of the pattern are suppressed by
+/// keeping only the lexicographically-least embedding of each orbit — the
+/// same device the paper uses in Lemma 6.1 ("lexicographically first among
+/// all the ways that this instance can be generated").
+///
+/// This is a plain backtracking matcher; it is the reference baseline that
+/// every map-reduce algorithm and every specialized serial kernel in this
+/// library is validated against.
+///
+/// Returns the number of instances. `sink` and `cost` may be null.
+uint64_t EnumerateInstances(const SampleGraph& pattern, const Graph& graph,
+                            InstanceSink* sink, CostCounter* cost);
+
+/// Convenience: count only.
+uint64_t CountInstances(const SampleGraph& pattern, const Graph& graph);
+
+}  // namespace smr
+
+#endif  // SMR_SERIAL_MATCHER_H_

@@ -1,0 +1,50 @@
+#ifndef SMR_SERIAL_ODD_CYCLE_H_
+#define SMR_SERIAL_ODD_CYCLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_order.h"
+#include "graph/sample_graph.h"
+#include "mapreduce/instance_sink.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// Algorithm 1 (OddCycle) of the paper: enumerates every cycle C_{2k+1}
+/// of the data graph exactly once, in O(m^{(2k+1)/2}) time — a
+/// (0, (2k+1)/2)-algorithm, meeting the lower bound of [4].
+///
+/// Each cycle is uniquely decomposed (Section 7.1) into a properly ordered
+/// 2-path v_{2k+1} - v_1 - v_2 (v_1 the order-minimum of the cycle,
+/// v_2 < v_{2k+1}) plus k-1 node-disjoint "middle" edges; the algorithm
+/// enumerates 2-paths and edge sets and stitches them together over all
+/// permutations and orientations.
+///
+/// `visit` receives the cycle as the node sequence v_1, v_2, ..., v_{2k+1}
+/// in cycle order. Also accepts k = 1 (triangles) for uniformity.
+/// Returns the number of cycles.
+uint64_t EnumerateOddCycles(
+    const Graph& graph, const NodeOrder& order, int k,
+    const std::function<void(const std::vector<NodeId>&)>& visit,
+    CostCounter* cost);
+
+/// Theorem 7.1: enumerates instances of a sample graph with an odd number of
+/// variables that contains the Hamilton cycle 0-1-...-(p-1)-0 (plus possible
+/// chords). Runs OddCycle and checks the chords in each of the 2p cycle
+/// orientations, deduplicating by the canonical-embedding rule.
+/// `pattern` must contain that Hamilton cycle; p must be odd.
+uint64_t EnumerateHamiltonianOddPattern(const SampleGraph& pattern,
+                                        const Graph& graph,
+                                        const NodeOrder& order,
+                                        InstanceSink* sink, CostCounter* cost);
+
+/// Finds a Hamilton cycle of the pattern by backtracking. Returns the
+/// variables in cycle order, or an empty vector if none exists.
+std::vector<int> FindHamiltonCycle(const SampleGraph& pattern);
+
+}  // namespace smr
+
+#endif  // SMR_SERIAL_ODD_CYCLE_H_

@@ -1,0 +1,33 @@
+#include "serial/sampled_triangles.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/node_order.h"
+#include "serial/triangles.h"
+#include "util/rng.h"
+
+namespace smr {
+
+SampledTriangleEstimate EstimateTriangles(const Graph& graph,
+                                          double keep_probability,
+                                          uint64_t seed) {
+  if (keep_probability <= 0 || keep_probability > 1) {
+    throw std::invalid_argument("keep probability must be in (0, 1]");
+  }
+  Rng rng(seed);
+  std::vector<Edge> kept;
+  for (const Edge& e : graph.edges()) {
+    if (rng.NextDouble() < keep_probability) kept.push_back(e);
+  }
+  const Graph sparsified(graph.num_nodes(), kept);
+  SampledTriangleEstimate result;
+  result.sampled_edges = sparsified.num_edges();
+  result.sampled_triangles = CountTriangles(sparsified);
+  const double p3 =
+      keep_probability * keep_probability * keep_probability;
+  result.estimate = static_cast<double>(result.sampled_triangles) / p3;
+  return result;
+}
+
+}  // namespace smr

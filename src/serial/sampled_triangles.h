@@ -1,0 +1,29 @@
+#ifndef SMR_SERIAL_SAMPLED_TRIANGLES_H_
+#define SMR_SERIAL_SAMPLED_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace smr {
+
+/// DOULION-style probabilistic triangle counting ([20] in the paper's
+/// related work; also the approach of [17] in map-reduce): keep every edge
+/// independently with probability `keep_probability`, count triangles in
+/// the sparsified graph, and scale by 1/p^3. Unbiased; variance shrinks as
+/// p^3 * T grows. Included as the *approximate* baseline that the paper's
+/// exact enumeration algorithms are contrasted against (enumeration cannot
+/// be recovered from a sampled count).
+struct SampledTriangleEstimate {
+  double estimate = 0;
+  uint64_t sampled_edges = 0;
+  uint64_t sampled_triangles = 0;
+};
+
+SampledTriangleEstimate EstimateTriangles(const Graph& graph,
+                                          double keep_probability,
+                                          uint64_t seed);
+
+}  // namespace smr
+
+#endif  // SMR_SERIAL_SAMPLED_TRIANGLES_H_

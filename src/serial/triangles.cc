@@ -1,0 +1,42 @@
+#include "serial/triangles.h"
+
+#include <array>
+
+namespace smr {
+
+uint64_t EnumerateTriangles(const Graph& graph, const NodeOrder& order,
+                            InstanceSink* sink, CostCounter* cost) {
+  const OrientedAdjacency oriented(graph, order);
+  uint64_t found = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto successors = oriented.Successors(u);
+    if (cost != nullptr) cost->edges_scanned += successors.size();
+    for (size_t i = 0; i < successors.size(); ++i) {
+      for (size_t j = i + 1; j < successors.size(); ++j) {
+        if (cost != nullptr) {
+          ++cost->candidates;
+          ++cost->index_probes;
+        }
+        if (graph.HasEdge(successors[i], successors[j])) {
+          ++found;
+          if (cost != nullptr) ++cost->outputs;
+          if (sink != nullptr) {
+            // Successors are sorted by rank, so (u, s_i, s_j) is the
+            // order-sorted triangle.
+            const std::array<NodeId, 3> assignment = {u, successors[i],
+                                                      successors[j]};
+            sink->Emit(assignment);
+          }
+        }
+      }
+    }
+  }
+  return found;
+}
+
+uint64_t CountTriangles(const Graph& graph) {
+  return EnumerateTriangles(graph, NodeOrder::ByDegree(graph), nullptr,
+                            nullptr);
+}
+
+}  // namespace smr

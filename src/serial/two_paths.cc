@@ -1,0 +1,33 @@
+#include "serial/two_paths.h"
+
+namespace smr {
+
+uint64_t EnumerateProperlyOrderedTwoPaths(
+    const Graph& graph, const NodeOrder& order,
+    const std::function<void(NodeId, NodeId, NodeId)>& visit,
+    CostCounter* cost) {
+  const OrientedAdjacency oriented(graph, order);
+  uint64_t found = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const auto successors = oriented.Successors(v);
+    if (cost != nullptr) cost->edges_scanned += successors.size();
+    for (size_t i = 0; i < successors.size(); ++i) {
+      for (size_t j = i + 1; j < successors.size(); ++j) {
+        ++found;
+        if (cost != nullptr) {
+          ++cost->candidates;
+          ++cost->outputs;
+        }
+        if (visit) visit(successors[i], v, successors[j]);
+      }
+    }
+  }
+  return found;
+}
+
+uint64_t CountProperlyOrderedTwoPaths(const Graph& graph) {
+  return EnumerateProperlyOrderedTwoPaths(graph, NodeOrder::ByDegree(graph),
+                                          nullptr, nullptr);
+}
+
+}  // namespace smr

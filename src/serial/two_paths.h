@@ -1,0 +1,31 @@
+#ifndef SMR_SERIAL_TWO_PATHS_H_
+#define SMR_SERIAL_TWO_PATHS_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.h"
+#include "graph/node_order.h"
+#include "util/cost_model.h"
+
+namespace smr {
+
+/// A 2-path u - v - w is *properly ordered* (Section 7.1) when its midpoint
+/// precedes both endpoints in the order, i.e. v < u and v < w. Lemma 7.1:
+/// with a nondecreasing-degree order there are O(m^{3/2}) of them and they
+/// can be generated in that time.
+///
+/// `visit(endpoint1, midpoint, endpoint2)` is called once per properly
+/// ordered 2-path, with endpoint1 < endpoint2 in the order. Returns the
+/// number of paths generated.
+uint64_t EnumerateProperlyOrderedTwoPaths(
+    const Graph& graph, const NodeOrder& order,
+    const std::function<void(NodeId, NodeId, NodeId)>& visit,
+    CostCounter* cost);
+
+/// Count of properly ordered 2-paths under the degree order.
+uint64_t CountProperlyOrderedTwoPaths(const Graph& graph);
+
+}  // namespace smr
+
+#endif  // SMR_SERIAL_TWO_PATHS_H_

@@ -1,0 +1,104 @@
+#include "shares/cost_expression.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace smr {
+
+CostExpression::CostExpression(int num_vars, std::vector<Term> terms)
+    : num_vars_(num_vars), terms_(std::move(terms)) {
+  for (const Term& t : terms_) {
+    if (t.var_a < 0 || t.var_b < 0 || t.var_a >= num_vars_ ||
+        t.var_b >= num_vars_ || t.var_a == t.var_b) {
+      throw std::invalid_argument("bad term");
+    }
+  }
+}
+
+CostExpression CostExpression::ForSingleCq(const ConjunctiveQuery& cq) {
+  std::vector<Term> terms;
+  terms.reserve(cq.subgoals().size());
+  for (const auto& [a, b] : cq.subgoals()) {
+    terms.push_back(Term{1.0, std::min(a, b), std::max(a, b)});
+  }
+  return CostExpression(cq.num_vars(), std::move(terms));
+}
+
+CostExpression CostExpression::ForCqSet(
+    std::span<const ConjunctiveQuery> cqs) {
+  if (cqs.empty()) throw std::invalid_argument("empty CQ set");
+  const int num_vars = cqs.front().num_vars();
+  // orientations[{a,b}] = bitmask: 1 for (a,b) seen, 2 for (b,a) seen.
+  std::map<std::pair<int, int>, int> orientations;
+  for (const auto& cq : cqs) {
+    for (const auto& [a, b] : cq.subgoals()) {
+      const std::pair<int, int> key{std::min(a, b), std::max(a, b)};
+      orientations[key] |= (a < b) ? 1 : 2;
+    }
+  }
+  std::vector<Term> terms;
+  terms.reserve(orientations.size());
+  for (const auto& [edge, mask] : orientations) {
+    terms.push_back(Term{mask == 3 ? 2.0 : 1.0, edge.first, edge.second});
+  }
+  return CostExpression(num_vars, std::move(terms));
+}
+
+int CostExpression::BidirectionalCount() const {
+  int count = 0;
+  for (const Term& t : terms_) {
+    if (t.coefficient > 1.5) ++count;
+  }
+  return count;
+}
+
+std::vector<bool> CostExpression::DominatedVars() const {
+  std::vector<bool> dominated(num_vars_, false);
+  for (int x = 0; x < num_vars_; ++x) {
+    for (int y = 0; y < num_vars_ && !dominated[x]; ++y) {
+      if (x == y || dominated[y]) continue;
+      bool dominates = true;
+      bool x_appears = false;
+      for (const Term& t : terms_) {
+        const bool has_x = (t.var_a == x || t.var_b == x);
+        const bool has_y = (t.var_a == y || t.var_b == y);
+        if (has_x) x_appears = true;
+        if (has_x && !has_y) {
+          dominates = false;
+          break;
+        }
+      }
+      if (dominates && x_appears) dominated[x] = true;
+    }
+  }
+  return dominated;
+}
+
+double CostExpression::CostPerEdge(std::span<const double> shares) const {
+  double total = 0;
+  for (const Term& t : terms_) {
+    double product = t.coefficient;
+    for (int v = 0; v < num_vars_; ++v) {
+      if (v != t.var_a && v != t.var_b) product *= shares[v];
+    }
+    total += product;
+  }
+  return total;
+}
+
+std::string CostExpression::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) os << " + ";
+    if (terms_[i].coefficient != 1.0) os << terms_[i].coefficient << "*";
+    os << "e";
+    for (int v = 0; v < num_vars_; ++v) {
+      if (v != terms_[i].var_a && v != terms_[i].var_b) os << "*x" << v;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace smr

@@ -1,0 +1,64 @@
+#ifndef SMR_SHARES_COST_EXPRESSION_H_
+#define SMR_SHARES_COST_EXPRESSION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cq/conjunctive_query.h"
+
+namespace smr {
+
+/// The communication-cost expression of [2] specialized to subgraph
+/// enumeration (Section 4.1): for every relational subgoal there is a term
+///
+///   coefficient * e * product of the shares of the variables NOT in the
+///   subgoal,
+///
+/// where e is the data-graph edge count. The coefficient is 1 when the
+/// subgoal's edge is shipped in one orientation and 2 when both orientations
+/// are needed (variable-oriented processing over merged CQs, Section 4.3).
+class CostExpression {
+ public:
+  struct Term {
+    double coefficient;
+    int var_a;  // the subgoal's variables
+    int var_b;
+  };
+
+  CostExpression(int num_vars, std::vector<Term> terms);
+
+  /// Expression for evaluating one CQ by itself (Section 4.1): coefficient
+  /// 1 per subgoal.
+  static CostExpression ForSingleCq(const ConjunctiveQuery& cq);
+
+  /// Expression for variable-oriented processing of a whole CQ group
+  /// (Section 4.3): one term per sample-graph edge; coefficient 2 iff the
+  /// edge appears in both orientations among the CQs.
+  static CostExpression ForCqSet(std::span<const ConjunctiveQuery> cqs);
+
+  int num_vars() const { return num_vars_; }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// Number of terms with coefficient 2 (bidirectional edges).
+  int BidirectionalCount() const;
+
+  /// Variables whose share may be fixed to 1 by the dominance rule of [2]:
+  /// X is dominated by some Y != X when every subgoal containing X also
+  /// contains Y (Example 4.1 drops W this way).
+  std::vector<bool> DominatedVars() const;
+
+  /// Communication cost per data edge for the given shares:
+  /// sum over terms of coefficient * prod of shares outside the subgoal.
+  double CostPerEdge(std::span<const double> shares) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_vars_;
+  std::vector<Term> terms_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_SHARES_COST_EXPRESSION_H_

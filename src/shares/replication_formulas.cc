@@ -1,0 +1,42 @@
+#include "shares/replication_formulas.h"
+
+#include <cmath>
+
+#include "util/combinatorics.h"
+
+namespace smr {
+
+uint64_t BucketOrientedReducerCount(int b, int p) {
+  return Binomial(b + p - 1, p);
+}
+
+uint64_t BucketOrientedEdgeReplication(int b, int p) {
+  return Binomial(b + p - 3, p - 2);
+}
+
+double GeneralizedPartitionReplication(int b, int p) {
+  const double same = static_cast<double>(Binomial(b - 1, p - 1));
+  const double cross = static_cast<double>(Binomial(b - 2, p - 2));
+  return same / b + cross * (b - 1) / b;
+}
+
+double PartitionTriangleReplication(int b) {
+  return 1.5 * (b - 1) * (b - 2) / b;
+}
+
+double MultiwayTriangleReplication(int b) { return 3.0 * b - 2.0; }
+
+double OrderedBucketTriangleReplication(int b) { return b; }
+
+TriangleAsymptotics Fig1Asymptotics(double k) {
+  TriangleAsymptotics out;
+  out.partition_buckets = std::cbrt(6.0 * k);
+  out.partition_cost = 1.5 * std::cbrt(6.0 * k);
+  out.multiway_buckets = std::cbrt(k);
+  out.multiway_cost = 3.0 * std::cbrt(k);
+  out.ordered_buckets = std::cbrt(6.0 * k);
+  out.ordered_cost = std::cbrt(6.0 * k);
+  return out;
+}
+
+}  // namespace smr

@@ -1,0 +1,52 @@
+#ifndef SMR_SHARES_REPLICATION_FORMULAS_H_
+#define SMR_SHARES_REPLICATION_FORMULAS_H_
+
+#include <cstdint>
+
+namespace smr {
+
+/// Closed-form reducer counts and per-edge replication rates quoted in the
+/// paper; the benches compare these predictions against counts measured on
+/// the map-reduce simulator.
+
+/// Theorem 4.2 / Section 4.5: reducers used by bucket-oriented processing
+/// with b buckets and a p-node sample graph: C(b+p-1, p).
+uint64_t BucketOrientedReducerCount(int b, int p);
+
+/// Section 4.5: reducers receiving each edge under bucket-oriented
+/// processing: C(b+p-3, p-2).
+uint64_t BucketOrientedEdgeReplication(int b, int p);
+
+/// Section 4.5: expected per-edge replication of the generalized Partition
+/// algorithm: (1/b) C(b-1, p-1) + ((b-1)/b) C(b-2, p-2).
+double GeneralizedPartitionReplication(int b, int p);
+
+/// Section 2.1: per-edge communication of Partition for triangles:
+/// (3/2)(b-1)(b-2)/b.
+double PartitionTriangleReplication(int b);
+
+/// Section 2.2: per-edge communication of the multiway-join triangle
+/// algorithm: 3b - 2.
+double MultiwayTriangleReplication(int b);
+
+/// Section 2.3: per-edge communication of the ordered-bucket triangle
+/// algorithm: b.
+double OrderedBucketTriangleReplication(int b);
+
+/// Fig. 1: for a target reducer count k, the bucket counts the three
+/// triangle algorithms would pick and their asymptotic communication cost
+/// per edge (Partition: 3/2 * cbrt(6k); Section 2.2: 3 * cbrt(k);
+/// Section 2.3: cbrt(6k)).
+struct TriangleAsymptotics {
+  double partition_buckets;
+  double partition_cost;
+  double multiway_buckets;
+  double multiway_cost;
+  double ordered_buckets;
+  double ordered_cost;
+};
+TriangleAsymptotics Fig1Asymptotics(double k);
+
+}  // namespace smr
+
+#endif  // SMR_SHARES_REPLICATION_FORMULAS_H_

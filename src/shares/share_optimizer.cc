@@ -1,0 +1,150 @@
+#include "shares/share_optimizer.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace smr {
+
+std::string ShareSolution::ToString() const {
+  std::ostringstream os;
+  os << "shares=[";
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shares[i];
+  }
+  os << "] cost/edge=" << cost_per_edge << " reducers=" << reducers
+     << " residual=" << residual;
+  return os.str();
+}
+
+ShareSolution OptimizeShares(const CostExpression& expression, double k) {
+  if (k < 1.0) throw std::invalid_argument("k must be >= 1");
+  const int p = expression.num_vars();
+  const std::vector<bool> dominated = expression.DominatedVars();
+  std::vector<int> free_vars;
+  for (int v = 0; v < p; ++v) {
+    if (!dominated[v]) free_vars.push_back(v);
+  }
+  const int nf = static_cast<int>(free_vars.size());
+
+  // Work in log space: y_v = ln(share_v) for free variables, sum = ln k.
+  // The objective sum_t c_t * exp(sum of y over free vars outside t) is
+  // convex; projected gradient descent with backtracking converges fast at
+  // these dimensions (p <= ~10).
+  std::vector<double> y(nf, std::log(k) / std::max(1, nf));
+  std::vector<int> index_of(p, -1);
+  for (int i = 0; i < nf; ++i) index_of[free_vars[i]] = i;
+
+  auto objective_and_grad = [&](const std::vector<double>& point,
+                                std::vector<double>* grad) {
+    if (grad != nullptr) grad->assign(nf, 0.0);
+    double total = 0;
+    for (const auto& term : expression.terms()) {
+      double log_value = std::log(term.coefficient);
+      for (int i = 0; i < nf; ++i) {
+        const int v = free_vars[i];
+        if (v != term.var_a && v != term.var_b) log_value += point[i];
+      }
+      const double value = std::exp(log_value);
+      total += value;
+      if (grad != nullptr) {
+        for (int i = 0; i < nf; ++i) {
+          const int v = free_vars[i];
+          if (v != term.var_a && v != term.var_b) (*grad)[i] += value;
+        }
+      }
+    }
+    return total;
+  };
+
+  std::vector<double> grad(nf), trial(nf);
+  double value = objective_and_grad(y, &grad);
+  double step = 1.0;
+  for (int iter = 0; iter < 20000 && nf > 0; ++iter) {
+    // Project the gradient onto the constraint plane (sum of y constant).
+    double mean = 0;
+    for (double g : grad) mean += g;
+    mean /= nf;
+    double norm = 0;
+    for (int i = 0; i < nf; ++i) {
+      const double d = grad[i] - mean;
+      norm += d * d;
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-12 * (1 + value)) break;
+    // Backtracking line search along the projected direction.
+    bool moved = false;
+    for (int attempt = 0; attempt < 60; ++attempt) {
+      for (int i = 0; i < nf; ++i) {
+        trial[i] = y[i] - step * (grad[i] - mean) / norm;
+      }
+      const double trial_value = objective_and_grad(trial, nullptr);
+      if (trial_value < value) {
+        y = trial;
+        value = objective_and_grad(y, &grad);
+        step *= 1.3;
+        moved = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!moved) break;
+  }
+
+  ShareSolution solution;
+  solution.shares.assign(p, 1.0);
+  for (int i = 0; i < nf; ++i) solution.shares[free_vars[i]] = std::exp(y[i]);
+  solution.cost_per_edge = expression.CostPerEdge(solution.shares);
+  solution.reducers = 1.0;
+  for (double s : solution.shares) solution.reducers *= s;
+  // Residual of the equal-sums optimality condition over free variables.
+  if (nf > 0) {
+    std::vector<double> sums(nf, 0.0);
+    for (const auto& term : expression.terms()) {
+      double product = term.coefficient;
+      for (int v = 0; v < p; ++v) {
+        if (v != term.var_a && v != term.var_b) product *= solution.shares[v];
+      }
+      for (int i = 0; i < nf; ++i) {
+        const int v = free_vars[i];
+        if (v != term.var_a && v != term.var_b) sums[i] += product;
+      }
+    }
+    double lo = sums[0];
+    double hi = sums[0];
+    bool any_nonzero = false;
+    for (double s : sums) {
+      if (s > 0) any_nonzero = true;
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    solution.residual = any_nonzero && hi > 0 ? (hi - lo) / hi : 0.0;
+  }
+  return solution;
+}
+
+double RegularShare(int p, double k) { return std::pow(k, 1.0 / p); }
+
+double Eq2Replication(int p, int d, int s3, double k) {
+  // Example 4.4 scenario (d' = d'' = d11 = d/2, e = 0). Edge counting forces
+  // |S1| = |S2| = |S3| = p/3. Optimal ratios (derived in shares/README note
+  // and verified against the numeric optimizer): a = 2^{2/3} b, z = 2^{1/3} b
+  // with b = k^{1/p} 2^{-1/3}. (The closed form printed in the paper's
+  // Example 4.4 appears garbled; see EXPERIMENTS.md.)
+  if (s3 * 3 != p) throw std::invalid_argument("Eq.(2) needs s1=s2=s3=p/3");
+  const double c13 = std::pow(2.0, 1.0 / 3.0);
+  const double c23 = std::pow(2.0, 2.0 / 3.0);
+  const double factor = 2.0 / c23 + 4.0 / c13 + c23 + 2.0 * c13;
+  return std::pow(k, 1.0 - 2.0 / p) * (p * d / 12.0) * factor;
+}
+
+double Eq3Replication(int p, int d, int s3, double k) {
+  // Example 4.5 scenario: S2 independent and covering every edge. Shares:
+  // S1 -> a, S3 -> a/2, S2 -> a, a = k^{1/p} 2^{s3/p}; every edge then
+  // contributes 2k/a^2, giving p*d*k^{1-2/p} / 2^{2 s3 / p}.
+  return p * d * std::pow(k, 1.0 - 2.0 / p) /
+         std::pow(2.0, 2.0 * s3 / p);
+}
+
+}  // namespace smr

@@ -1,0 +1,48 @@
+#ifndef SMR_SHARES_SHARE_OPTIMIZER_H_
+#define SMR_SHARES_SHARE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "shares/cost_expression.h"
+
+namespace smr {
+
+/// Result of optimizing the shares for a cost expression at a fixed number
+/// of reducers k (Section 4.1).
+struct ShareSolution {
+  /// One share per variable; dominated variables are fixed at 1.
+  std::vector<double> shares;
+  /// Communication cost per data edge at the optimum.
+  double cost_per_edge = 0;
+  /// Product of the shares (equals k up to solver tolerance).
+  double reducers = 0;
+  /// Residual of the Lagrangian optimality conditions (the per-variable
+  /// term sums should all be equal at the optimum); near 0 when converged.
+  double residual = 0;
+
+  std::string ToString() const;
+};
+
+/// Minimizes the communication cost subject to (product of shares) = k,
+/// with dominated variables fixed to share 1 first (the rule of [2] used in
+/// Example 4.1). Solves the convex program in log-share space by projected
+/// gradient descent; the optimum satisfies the "equal sums" conditions of
+/// Section 4.1.
+ShareSolution OptimizeShares(const CostExpression& expression, double k);
+
+/// Closed form of Theorem 4.1: for a regular sample graph evaluated by one
+/// CQ, every share is k^{1/p}.
+double RegularShare(int p, double k);
+
+/// Replication per edge predicted by Eq.(2) of Example 4.4 (regular sample
+/// graph, d' = d'' = d11 = d/2), given degree d, p, |S3| = s3, and k.
+double Eq2Replication(int p, int d, int s3, double k);
+
+/// Replication per edge predicted by Eq.(3) of Example 4.5 (S2 an
+/// independent set covering all edges).
+double Eq3Replication(int p, int d, int s3, double k);
+
+}  // namespace smr
+
+#endif  // SMR_SHARES_SHARE_OPTIMIZER_H_

@@ -1,0 +1,118 @@
+#include "util/combinatorics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace smr {
+
+uint64_t Binomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (int64_t i = 1; i <= k; ++i) {
+    result = result * static_cast<uint64_t>(n - k + i) /
+             static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+uint64_t Factorial(int n) {
+  uint64_t result = 1;
+  for (int i = 2; i <= n; ++i) result *= static_cast<uint64_t>(i);
+  return result;
+}
+
+std::vector<std::vector<int>> AllPermutations(int p) {
+  std::vector<int> perm(p);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::vector<int>> result;
+  do {
+    result.push_back(perm);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return result;
+}
+
+std::vector<int> Compose(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> result(a.size());
+  for (size_t i = 0; i < a.size(); ++i) result[i] = a[b[i]];
+  return result;
+}
+
+std::vector<int> Inverse(const std::vector<int>& a) {
+  std::vector<int> result(a.size());
+  for (size_t i = 0; i < a.size(); ++i) result[a[i]] = static_cast<int>(i);
+  return result;
+}
+
+namespace {
+
+void NondecreasingRec(int base, int length, int low, std::vector<int>* cur,
+                      std::vector<std::vector<int>>* out) {
+  if (static_cast<int>(cur->size()) == length) {
+    out->push_back(*cur);
+    return;
+  }
+  for (int v = low; v < base; ++v) {
+    cur->push_back(v);
+    NondecreasingRec(base, length, v, cur, out);
+    cur->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> NondecreasingSequences(int base, int length) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> cur;
+  NondecreasingRec(base, length, 0, &cur, &out);
+  return out;
+}
+
+uint64_t RankNondecreasing(const std::vector<int>& seq, int base) {
+  // Lexicographic rank: count sequences that precede `seq`. At position i,
+  // for each value v in [prev, seq[i]), the remaining length-(i+1) positions
+  // can hold any nondecreasing sequence over [v, base), of which there are
+  // C((base - v) + rem - 1, rem).
+  uint64_t rank = 0;
+  int prev = 0;
+  const int length = static_cast<int>(seq.size());
+  for (int i = 0; i < length; ++i) {
+    const int rem = length - i - 1;
+    for (int v = prev; v < seq[i]; ++v) {
+      rank += Binomial(base - v + rem - 1, rem);
+    }
+    prev = seq[i];
+  }
+  return rank;
+}
+
+namespace {
+
+void CompositionsRec(int total, int parts, std::vector<int>* cur,
+                     std::vector<std::vector<int>>* out) {
+  if (parts == 1) {
+    if (total >= 1) {
+      cur->push_back(total);
+      out->push_back(*cur);
+      cur->pop_back();
+    }
+    return;
+  }
+  for (int first = 1; first <= total - (parts - 1); ++first) {
+    cur->push_back(first);
+    CompositionsRec(total - first, parts - 1, cur, out);
+    cur->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> Compositions(int total, int parts) {
+  std::vector<std::vector<int>> out;
+  if (parts < 1 || total < parts) return out;
+  std::vector<int> cur;
+  CompositionsRec(total, parts, &cur, &out);
+  return out;
+}
+
+}  // namespace smr

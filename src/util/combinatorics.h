@@ -1,0 +1,42 @@
+#ifndef SMR_UTIL_COMBINATORICS_H_
+#define SMR_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace smr {
+
+/// Binomial coefficient C(n, k) as a 64-bit integer. Overflow-safe for the
+/// ranges used in this project (n up to ~60). Returns 0 when k < 0 or k > n.
+uint64_t Binomial(int64_t n, int64_t k);
+
+/// n! for small n (n <= 20).
+uint64_t Factorial(int n);
+
+/// All permutations of {0, 1, ..., p-1} in lexicographic order.
+std::vector<std::vector<int>> AllPermutations(int p);
+
+/// Composes permutations: result[i] = a[b[i]].
+std::vector<int> Compose(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Inverse permutation: result[a[i]] = i.
+std::vector<int> Inverse(const std::vector<int>& a);
+
+/// All sequences of `length` integers drawn from [0, base) that are
+/// nondecreasing. There are C(base + length - 1, length) of them
+/// (Theorem 4.2 of the paper counts reducers this way).
+std::vector<std::vector<int>> NondecreasingSequences(int base, int length);
+
+/// Ranks a nondecreasing sequence among all nondecreasing sequences over
+/// [0, base) of the same length, in lexicographic order. This is the bucket
+/// list -> reducer id mapping used by bucket-oriented processing; it is a
+/// bijection onto [0, C(base+length-1, length)).
+uint64_t RankNondecreasing(const std::vector<int>& seq, int base);
+
+/// All ways to write `total` as an ordered sum of `parts` positive integers
+/// (compositions). Used by the cycle run-sequence enumeration (Section 5).
+std::vector<std::vector<int>> Compositions(int total, int parts);
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_COMBINATORICS_H_

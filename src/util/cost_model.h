@@ -1,0 +1,41 @@
+#ifndef SMR_UTIL_COST_MODEL_H_
+#define SMR_UTIL_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace smr {
+
+/// Deterministic computation-cost model used by the serial kernels and the
+/// reducers. The paper's "computation cost" (Section 1.2, Section 6) is the
+/// total time spent by all reducers; we measure it as a count of elementary
+/// operations (adjacency probes, candidate pairs examined, outputs emitted)
+/// so that the convertibility experiments (Theorem 6.1) are exact and
+/// reproducible rather than subject to wall-clock noise.
+struct CostCounter {
+  /// Edges scanned / tuples read.
+  uint64_t edges_scanned = 0;
+  /// Candidate tuples (e.g., 2-paths, partial embeddings) examined.
+  uint64_t candidates = 0;
+  /// O(1) edge-index probes.
+  uint64_t index_probes = 0;
+  /// Result instances emitted.
+  uint64_t outputs = 0;
+
+  uint64_t Total() const {
+    return edges_scanned + candidates + index_probes + outputs;
+  }
+
+  CostCounter& operator+=(const CostCounter& other) {
+    edges_scanned += other.edges_scanned;
+    candidates += other.candidates;
+    index_probes += other.index_probes;
+    outputs += other.outputs;
+    return *this;
+  }
+
+  void Reset() { *this = CostCounter(); }
+};
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_COST_MODEL_H_

@@ -1,0 +1,50 @@
+#ifndef SMR_UTIL_HASHING_H_
+#define SMR_UTIL_HASHING_H_
+
+#include <cstdint>
+
+namespace smr {
+
+/// Finalizer from the splitmix64 generator. A high-quality 64-bit mixer used
+/// everywhere a hash of an integer id is needed (bucket assignment, edge
+/// index keys). Deterministic across runs and platforms.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 32-bit node ids into one 64-bit key (for edge indexes).
+constexpr uint64_t PackPair(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Hash functor for packed pairs / plain integers built on SplitMix64.
+struct IdHash {
+  size_t operator()(uint64_t x) const { return SplitMix64(x); }
+};
+
+/// Maps a node id to one of `buckets` hash buckets, with an optional seed so
+/// that independent hash functions can be derived (one per join variable in
+/// variable-oriented processing, Section 4.3 of the paper).
+class BucketHasher {
+ public:
+  BucketHasher(int buckets, uint64_t seed = 0)
+      : buckets_(buckets), seed_(seed) {}
+
+  /// Returns a bucket in [0, buckets).
+  int Bucket(uint32_t node) const {
+    return static_cast<int>(SplitMix64(node ^ seed_) % buckets_);
+  }
+
+  int buckets() const { return buckets_; }
+
+ private:
+  int buckets_;
+  uint64_t seed_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_HASHING_H_

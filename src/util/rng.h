@@ -1,0 +1,44 @@
+#ifndef SMR_UTIL_RNG_H_
+#define SMR_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/hashing.h"
+
+namespace smr {
+
+/// Small deterministic pseudo-random generator (xorshift128+ seeded through
+/// SplitMix64). Used by the graph generators and the property tests so that
+/// every run of the test-suite and benchmark harness is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    s0_ = SplitMix64(seed);
+    s1_ = SplitMix64(s0_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_RNG_H_

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/plan_advisor.h"
+#include "core/subgraph_enumerator.h"
+#include "graph/generators.h"
+#include "serial/sampled_triangles.h"
+#include "serial/triangles.h"
+#include "shares/replication_formulas.h"
+
+namespace smr {
+namespace {
+
+TEST(PlanAdvisor, BucketCountFitsBudget) {
+  const StrategyPlan plan = PlanEnumeration(SampleGraph::Triangle(), 220);
+  // C(b+2,3) <= 220 -> b = 10 (Fig. 2's ordered-bucket row).
+  EXPECT_EQ(plan.buckets, 10);
+  EXPECT_DOUBLE_EQ(plan.bucket_cost_per_edge, 10.0);
+  EXPECT_EQ(plan.num_cqs, 1u);
+}
+
+TEST(PlanAdvisor, TrianglePrefersBucketOriented) {
+  // For regular patterns with a single CQ the bucket-oriented scheme's
+  // C(b+p-3, p-2) beats the b^p-reducer variable-oriented grid at equal k.
+  const StrategyPlan plan = PlanEnumeration(SampleGraph::Triangle(), 1000);
+  EXPECT_EQ(plan.recommended, StrategyPlan::Strategy::kBucketOriented);
+  EXPECT_LE(plan.bucket_cost_per_edge, plan.variable_cost_per_edge);
+}
+
+TEST(PlanAdvisor, PredictionsMatchMeasurement) {
+  const SampleGraph pattern = SampleGraph::Square();
+  const double k = 126;  // C(6+3, 4) = 126 -> b = 6
+  const StrategyPlan plan = PlanEnumeration(pattern, k);
+  const Graph g = ErdosRenyi(60, 300, 3);
+  const SubgraphEnumerator enumerator(pattern);
+  const auto metrics =
+      enumerator.RunBucketOriented(g, plan.buckets, 1, nullptr);
+  EXPECT_DOUBLE_EQ(metrics.ReplicationRate(), plan.bucket_cost_per_edge);
+}
+
+TEST(PlanAdvisor, ToStringMentionsRecommendation) {
+  const StrategyPlan plan = PlanEnumeration(SampleGraph::Lollipop(), 500);
+  EXPECT_NE(plan.ToString().find("recommended="), std::string::npos);
+  EXPECT_NE(plan.ToString().find("cqs=6"), std::string::npos);
+}
+
+TEST(SampledTriangles, FullProbabilityIsExact) {
+  const Graph g = ErdosRenyi(100, 500, 2);
+  const auto estimate = EstimateTriangles(g, 1.0, 1);
+  EXPECT_DOUBLE_EQ(estimate.estimate,
+                   static_cast<double>(CountTriangles(g)));
+  EXPECT_EQ(estimate.sampled_edges, g.num_edges());
+}
+
+TEST(SampledTriangles, EstimateIsClose) {
+  // Dense graph with many triangles: p = 0.5 estimate within 30%.
+  const Graph g = ErdosRenyi(120, 3000, 7);
+  const double exact = static_cast<double>(CountTriangles(g));
+  // Average several seeds to keep the test robust (the estimator is
+  // unbiased; averaging reduces variance).
+  double sum = 0;
+  const int runs = 8;
+  for (int seed = 0; seed < runs; ++seed) {
+    sum += EstimateTriangles(g, 0.5, seed).estimate;
+  }
+  EXPECT_NEAR(sum / runs, exact, 0.3 * exact);
+}
+
+TEST(SampledTriangles, RejectsBadProbability) {
+  const Graph g = ErdosRenyi(10, 20, 1);
+  EXPECT_THROW(EstimateTriangles(g, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(EstimateTriangles(g, 1.5, 1), std::invalid_argument);
+}
+
+TEST(SampledTriangles, SamplingShrinksWork) {
+  const Graph g = ErdosRenyi(500, 5000, 9);
+  const auto estimate = EstimateTriangles(g, 0.25, 3);
+  EXPECT_LT(estimate.sampled_edges, g.num_edges() / 2);
+}
+
+}  // namespace
+}  // namespace smr

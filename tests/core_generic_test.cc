@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/bucket_oriented.h"
+#include "core/subgraph_enumerator.h"
+#include "core/variable_oriented.h"
+#include "cq/cq_generation.h"
+#include "graph/generators.h"
+#include "shares/replication_formulas.h"
+#include "tests/test_util.h"
+#include "util/combinatorics.h"
+
+namespace smr {
+namespace {
+
+SampleGraph PatternById(int id) {
+  switch (id) {
+    case 0:
+      return SampleGraph::Triangle();
+    case 1:
+      return SampleGraph::Square();
+    case 2:
+      return SampleGraph::Lollipop();
+    case 3:
+      return SampleGraph::Cycle(5);
+    case 4:
+      return SampleGraph::Clique(4);
+    case 5:
+      return SampleGraph::Path(4);
+    default:
+      return SampleGraph::Star(4);
+  }
+}
+
+class BucketOrientedParam
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(BucketOrientedParam, FindsEachInstanceExactlyOnce) {
+  const auto [pattern_id, buckets, seed] = GetParam();
+  const SampleGraph pattern = PatternById(pattern_id);
+  const Graph g = ErdosRenyi(22, 64, seed);
+  const SubgraphEnumerator enumerator(pattern);
+  CollectingSink sink;
+  const auto metrics = enumerator.RunBucketOriented(g, buckets, seed, &sink);
+  EXPECT_EQ(KeysOf(sink, pattern), GroundTruthKeys(pattern, g))
+      << pattern.ToString() << " b=" << buckets << " seed=" << seed;
+  // Section 4.5 exact replication: C(b+p-3, p-2) per edge.
+  EXPECT_EQ(metrics.key_value_pairs,
+            g.num_edges() *
+                BucketOrientedEdgeReplication(buckets, pattern.num_vars()));
+  EXPECT_EQ(metrics.key_space,
+            BucketOrientedReducerCount(buckets, pattern.num_vars()));
+  EXPECT_LE(metrics.distinct_keys, metrics.key_space);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, BucketOrientedParam,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(1ull, 9ull)));
+
+class VariableOrientedParam
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(VariableOrientedParam, FindsEachInstanceExactlyOnce) {
+  const auto [pattern_id, seed] = GetParam();
+  const SampleGraph pattern = PatternById(pattern_id);
+  const Graph g = ErdosRenyi(20, 56, seed);
+  const SubgraphEnumerator enumerator(pattern);
+  // Uneven shares stress the per-variable hashing.
+  std::vector<int> shares(pattern.num_vars(), 2);
+  shares[0] = 3;
+  shares[pattern.num_vars() - 1] = 1;
+  CollectingSink sink;
+  enumerator.RunVariableOriented(g, shares, seed, &sink);
+  EXPECT_EQ(KeysOf(sink, pattern), GroundTruthKeys(pattern, g))
+      << pattern.ToString() << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, VariableOrientedParam,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(2ull, 5ull)));
+
+TEST(VariableOriented, CommunicationMatchesCostExpression) {
+  // The shipped key-value pairs equal m * sum over subgoal terms of
+  // coefficient * prod of other shares — the expression the optimizer
+  // minimizes (Section 4.3).
+  const SampleGraph pattern = SampleGraph::Square();
+  const Graph g = ErdosRenyi(30, 120, 3);
+  const SubgraphEnumerator enumerator(pattern);
+  const std::vector<int> shares = {2, 3, 2, 4};
+  const auto metrics = enumerator.RunVariableOriented(g, shares, 1, nullptr);
+  const auto expression = CostExpression::ForCqSet(enumerator.cqs());
+  const std::vector<double> shares_d(shares.begin(), shares.end());
+  EXPECT_DOUBLE_EQ(metrics.ReplicationRate(),
+                   expression.CostPerEdge(shares_d));
+}
+
+TEST(VariableOriented, AutoSharesApproximateBudget) {
+  const SampleGraph pattern = SampleGraph::Triangle();
+  const Graph g = ErdosRenyi(24, 80, 4);
+  const SubgraphEnumerator enumerator(pattern);
+  CollectingSink sink;
+  const auto metrics = enumerator.RunVariableOrientedAuto(g, 27, 3, &sink);
+  EXPECT_EQ(KeysOf(sink, pattern), GroundTruthKeys(pattern, g));
+  EXPECT_EQ(metrics.key_space, 27u);  // 3*3*3 for the regular triangle
+}
+
+TEST(VariableOriented, RoundSharesFloorsAtOne) {
+  EXPECT_EQ(RoundShares({0.3, 1.2, 2.6}), (std::vector<int>{1, 1, 3}));
+}
+
+TEST(GeneralizedPartition, FindsEachInstanceExactlyOnce) {
+  const SampleGraph patterns[] = {SampleGraph::Triangle(),
+                                  SampleGraph::Square(),
+                                  SampleGraph::Lollipop()};
+  for (const auto& pattern : patterns) {
+    const Graph g = ErdosRenyi(20, 56, 21);
+    const auto cqs = CqsForSample(pattern);
+    CollectingSink sink;
+    GeneralizedPartitionEnumerate(pattern, cqs, g, 6, 2, &sink);
+    EXPECT_EQ(KeysOf(sink, pattern), GroundTruthKeys(pattern, g))
+        << pattern.ToString();
+  }
+}
+
+TEST(GeneralizedPartition, MeasuredReplicationMatchesFormulas) {
+  // Section 4.5's comparison (ratio -> 1 + 1/(p-1)) is asymptotic in b; at
+  // small b the binomials favor Partition. What must hold exactly at any b
+  // is that measured replication matches the closed forms: expected
+  // (1/b) C(b-1, p-1) + ((b-1)/b) C(b-2, p-2) for generalized Partition,
+  // and exactly C(b+p-3, p-2) for bucket-oriented.
+  const SampleGraph pattern = SampleGraph::Square();
+  const Graph g = ErdosRenyi(300, 2400, 5);
+  const auto cqs = CqsForSample(pattern);
+  const int b = 10;
+  const auto partition =
+      GeneralizedPartitionEnumerate(pattern, cqs, g, b, 2, nullptr);
+  const auto bucket = BucketOrientedEnumerate(pattern, cqs, g, b, 2, nullptr);
+  EXPECT_NEAR(partition.ReplicationRate(),
+              GeneralizedPartitionReplication(b, 4),
+              0.1 * partition.ReplicationRate());
+  EXPECT_DOUBLE_EQ(bucket.ReplicationRate(),
+                   static_cast<double>(BucketOrientedEdgeReplication(b, 4)));
+  EXPECT_EQ(partition.outputs, bucket.outputs);
+}
+
+TEST(BucketOriented, TrianglesAgreeWithSpecializedAlgorithm) {
+  // The generic bucket-oriented path on the triangle pattern is the
+  // Section 2.3 algorithm: same replication, same results.
+  const Graph g = ErdosRenyi(40, 150, 8);
+  const SubgraphEnumerator enumerator(SampleGraph::Triangle());
+  const int b = 5;
+  const auto metrics = enumerator.RunBucketOriented(g, b, 3, nullptr);
+  EXPECT_EQ(metrics.key_value_pairs, g.num_edges() * static_cast<uint64_t>(b));
+  EXPECT_EQ(metrics.outputs,
+            enumerator.RunSerial(g, nullptr));
+}
+
+TEST(BucketOriented, PairPatternWorks) {
+  // p = 2 (a single edge) is a degenerate but valid case: one reducer per
+  // nondecreasing pair.
+  const SampleGraph edge(2, {{0, 1}});
+  const Graph g = ErdosRenyi(15, 40, 2);
+  const auto cqs = CqsForSample(edge);
+  CollectingSink sink;
+  const auto metrics = BucketOrientedEnumerate(edge, cqs, g, 3, 1, &sink);
+  EXPECT_EQ(metrics.outputs, g.num_edges());
+  EXPECT_EQ(metrics.key_value_pairs, g.num_edges());  // C(b-1, 0) = 1
+}
+
+TEST(SubgraphEnumerator, FacadeEndToEnd) {
+  const SubgraphEnumerator enumerator(SampleGraph::Lollipop());
+  EXPECT_EQ(enumerator.cqs().size(), 6u);  // Fig. 7
+  const Graph g = PreferentialAttachment(120, 3, 5);
+  const uint64_t serial = enumerator.RunSerial(g, nullptr);
+  const auto bucket = enumerator.RunBucketOriented(g, 4, 7, nullptr);
+  EXPECT_EQ(bucket.outputs, serial);
+  const auto solution = enumerator.OptimalShares(256);
+  EXPECT_LT(solution.residual, 1e-3);
+  const auto variable = enumerator.RunVariableOriented(
+      g, RoundShares(solution.shares), 7, nullptr);
+  EXPECT_EQ(variable.outputs, serial);
+}
+
+TEST(SubgraphEnumerator, SkewedGraphStillExact) {
+  // A power-law graph concentrates edges at hubs; exactness must not
+  // depend on balanced buckets.
+  const Graph g = PreferentialAttachment(80, 2, 9);
+  const SampleGraph pattern = SampleGraph::Triangle();
+  const SubgraphEnumerator enumerator(pattern);
+  CollectingSink sink;
+  enumerator.RunBucketOriented(g, 3, 11, &sink);
+  EXPECT_EQ(KeysOf(sink, pattern), GroundTruthKeys(pattern, g));
+}
+
+}  // namespace
+}  // namespace smr

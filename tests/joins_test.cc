@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "joins/five_cycle_join.h"
+
+namespace smr {
+namespace {
+
+TEST(FiveCycleJoin, CaseAConditionAllEqual) {
+  // Equal sizes: n^3 >= n^2 always.
+  EXPECT_TRUE(CaseAHolds({100, 100, 100, 100, 100}));
+}
+
+TEST(FiveCycleJoin, CaseBConditionDetectsViolation) {
+  // Section 7.4's closing example: n1=1, n2=n, n3=1, n4=n, n5=1:
+  // n1*n3*n5 = 1 < n2*n4 = n^2 -> Case B.
+  EXPECT_FALSE(CaseAHolds({1, 100, 1, 100, 1}));
+}
+
+TEST(FiveCycleJoin, BoundCaseAIsSqrtProduct) {
+  const JoinSizes sizes = {100, 100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(JoinOutputBound(sizes), std::sqrt(1e10));
+}
+
+TEST(FiveCycleJoin, BoundCaseBClosingExample) {
+  // The example's answer: upper and lower bound equal n.
+  const JoinSizes sizes = {1, 100, 1, 100, 1};
+  EXPECT_DOUBLE_EQ(JoinOutputBound(sizes), 1.0 * 1.0 * 1.0 * 100.0 * 100.0 /
+                                               (100.0 * 100.0));
+}
+
+TEST(FiveCycleJoin, CaseAWitnessAchievesBound) {
+  // Equal relation sizes d^2: domains all d, output d^5 = sqrt((d^2)^5).
+  const uint64_t d = 6;
+  const JoinSizes sizes = {d * d, d * d, d * d, d * d, d * d};
+  const auto relations = CaseAWitness(sizes);
+  for (const auto& r : relations) EXPECT_EQ(r.size(), d * d);
+  const uint64_t output = CountFiveCycleJoin(relations);
+  EXPECT_DOUBLE_EQ(static_cast<double>(output), JoinOutputBound(sizes));
+}
+
+TEST(FiveCycleJoin, CaseAWitnessUnequalSizes) {
+  // Sizes chosen so every domain is a whole number: relations 4,8,16,8,4
+  // give d_A = sqrt(4*4*16/(8*8)) = 2, etc.
+  const JoinSizes sizes = {4, 8, 16, 8, 4};
+  ASSERT_TRUE(CaseAHolds(sizes));
+  const auto relations = CaseAWitness(sizes);
+  const uint64_t output = CountFiveCycleJoin(relations);
+  // Rounded domains can fall below the real bound but must stay close
+  // here (all domains integral): bound = sqrt(4*8*16*8*4) = 128.
+  EXPECT_EQ(output, 128u);
+}
+
+TEST(FiveCycleJoin, CaseBWitnessAchievesBound) {
+  // n1=3, n3=2, n5=4 with n2 >= n1*n3 and n4 >= n3*n5: output n1*n3*n5.
+  const JoinSizes sizes = {3, 6, 2, 8, 4};
+  ASSERT_FALSE(CaseAHolds(sizes));
+  const auto relations = CaseBWitness(sizes);
+  const uint64_t output = CountFiveCycleJoin(relations);
+  EXPECT_EQ(output, 3u * 2u * 4u);
+  EXPECT_DOUBLE_EQ(JoinOutputBound(sizes), 3.0 * 2.0 * 4.0);
+}
+
+TEST(FiveCycleJoin, CaseBWitnessValidatesPreconditions) {
+  EXPECT_THROW(CaseBWitness({10, 5, 10, 100, 10}), std::invalid_argument);
+}
+
+TEST(FiveCycleJoin, CountJoinHandByHand) {
+  // A single 5-cycle of values: R_i = {(i, i+1)} chained 0-1-2-3-4-0.
+  std::array<BinaryRelation, 5> relations;
+  for (int i = 0; i < 5; ++i) {
+    relations[i].emplace_back(i, (i + 1) % 5);
+  }
+  // Wait: the join requires R1.A = R5.A etc.; chain values match:
+  // R1(0,1), R2(1,2), R3(2,3), R4(3,4), R5(4,0).
+  EXPECT_EQ(CountFiveCycleJoin(relations), 1u);
+}
+
+TEST(FiveCycleJoin, EmptyRelationGivesEmptyJoin) {
+  std::array<BinaryRelation, 5> relations;
+  relations[0].emplace_back(0, 0);
+  EXPECT_EQ(CountFiveCycleJoin(relations), 0u);
+}
+
+TEST(FiveCycleJoin, BoundIsUpperBoundOnRandomInstances) {
+  // Property: on arbitrary instances the join output never exceeds the
+  // bound computed from the sizes... (the bound is worst-case over
+  // instances of those sizes).
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    std::array<BinaryRelation, 5> relations;
+    uint64_t x = seed * 2654435761u;
+    JoinSizes sizes{};
+    for (int r = 0; r < 5; ++r) {
+      const int count = 5 + static_cast<int>(x % 20);
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      for (int t = 0; t < count; ++t) {
+        relations[r].emplace_back(static_cast<uint32_t>(x % 7),
+                                  static_cast<uint32_t>((x >> 8) % 7));
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      }
+      std::sort(relations[r].begin(), relations[r].end());
+      relations[r].erase(
+          std::unique(relations[r].begin(), relations[r].end()),
+          relations[r].end());
+      sizes[r] = relations[r].size();
+    }
+    const uint64_t output = CountFiveCycleJoin(relations);
+    EXPECT_LE(static_cast<double>(output), JoinOutputBound(sizes) + 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,99 @@
+// Tightness of the worst-case bounds of [4] (Example 6.2 / Section 7): for
+// sample graphs decomposable into edges and odd cycles, data graphs exist
+// with Theta(m^{p/2}) instances. Complete graphs realize the bound: K_n has
+// m = n(n-1)/2 edges and the instance counts below grow as m^{p/2}. These
+// tests pin the closed-form counts and check the growth exponent, i.e. that
+// the (0, p/2)-algorithms of Theorem 7.2 are doing optimal work.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "serial/matcher.h"
+#include "serial/odd_cycle.h"
+#include "util/combinatorics.h"
+
+namespace smr {
+namespace {
+
+/// Number of p-cycles in K_n: C(n, p) * (p-1)! / 2.
+uint64_t CyclesInCompleteGraph(int n, int p) {
+  return Binomial(n, p) * Factorial(p - 1) / 2;
+}
+
+TEST(LowerBoundFamilies, CycleCountsInCompleteGraphs) {
+  for (int n = 5; n <= 8; ++n) {
+    const Graph g = CompleteGraph(n);
+    for (int p = 3; p <= 5; ++p) {
+      EXPECT_EQ(CountInstances(SampleGraph::Cycle(p), g),
+                CyclesInCompleteGraph(n, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(LowerBoundFamilies, OddCycleAlgorithmOnWorstCase) {
+  // Algorithm 1 on the worst-case family: counts still exact.
+  for (int n = 6; n <= 8; ++n) {
+    const Graph g = CompleteGraph(n);
+    EXPECT_EQ(EnumerateOddCycles(g, NodeOrder::ByDegree(g), 2, nullptr,
+                                 nullptr),
+              CyclesInCompleteGraph(n, 5))
+        << "n=" << n;
+  }
+}
+
+TEST(LowerBoundFamilies, GrowthExponentMatchesMOverTwo) {
+  // #C5 in K_n ~ n^5/10 = (2m)^{2.5}/10: the instances/m^{p/2} ratio rises
+  // monotonically toward the limit 2^{2.5}/10 ~ 0.566 (convergence is
+  // O(1/n), so large n via the closed form) — the Theta(m^{p/2}) lower
+  // bound of [4].
+  const double limit = std::sqrt(32.0) / 10.0;
+  double previous_ratio = 0;
+  double final_ratio = 0;
+  for (int n : {8, 16, 40, 100, 400}) {
+    const double m = n * (n - 1.0) / 2.0;
+    const double count = static_cast<double>(CyclesInCompleteGraph(n, 5));
+    const double ratio = count / std::pow(m, 2.5);
+    EXPECT_GT(ratio, previous_ratio) << "n=" << n;
+    EXPECT_LT(ratio, limit) << "n=" << n;
+    previous_ratio = ratio;
+    final_ratio = ratio;
+  }
+  EXPECT_NEAR(final_ratio, limit, 0.03 * limit);
+}
+
+TEST(LowerBoundFamilies, TwoEdgePatternQuadraticInM) {
+  // The 2-edge matching has Theta(m^2) instances on a perfect matching
+  // data graph... on a star it has zero; on a matching of m edges it has
+  // C(m, 2) — exactly m^2/2 asymptotically.
+  const int m = 30;
+  std::vector<Edge> matching;
+  for (NodeId i = 0; i < m; ++i) {
+    matching.emplace_back(2 * i, 2 * i + 1);
+  }
+  const Graph g(2 * m, std::move(matching));
+  const SampleGraph two_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(CountInstances(two_edges, g), Binomial(m, 2));
+}
+
+TEST(LowerBoundFamilies, StarBoundOnRegularTree) {
+  // Section 7.3's tightness remark: a Delta-regular tree has
+  // Theta(m Delta^{p-2}) p-stars; check p=4 against the closed form.
+  const int delta = 6;
+  const Graph tree = RegularTree(delta, 3);
+  uint64_t expected = 0;
+  for (NodeId u = 0; u < tree.num_nodes(); ++u) {
+    expected += Binomial(tree.Degree(u), 3);
+  }
+  EXPECT_EQ(CountInstances(SampleGraph::Star(4), tree), expected);
+  // Growth: expected / (m * delta^2) in a sane constant range.
+  const double ratio = static_cast<double>(expected) /
+                       (static_cast<double>(tree.num_edges()) * delta * delta);
+  EXPECT_GT(ratio, 0.02);
+  EXPECT_LT(ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace smr

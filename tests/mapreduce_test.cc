@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.h"
+#include "mapreduce/instance_sink.h"
+#include "mapreduce/metrics.h"
+
+namespace smr {
+namespace {
+
+TEST(Engine, MapShuffleReduceSemantics) {
+  // Inputs 1..6; map emits (value % 3, value); reduce sums each group.
+  const std::vector<int> inputs = {1, 2, 3, 4, 5, 6};
+  std::vector<std::pair<uint64_t, int>> reduced;
+  auto map_fn = [](const int& x, Emitter<int>* out) {
+    out->Emit(static_cast<uint64_t>(x % 3), x);
+  };
+  auto reduce_fn = [&](uint64_t key, std::span<const int> values,
+                       ReduceContext*) {
+    int sum = 0;
+    for (int v : values) sum += v;
+    reduced.emplace_back(key, sum);
+  };
+  const MapReduceMetrics metrics = RunSingleRound<int, int>(
+      inputs, map_fn, reduce_fn, nullptr, /*key_space=*/3);
+  EXPECT_EQ(metrics.input_records, 6u);
+  EXPECT_EQ(metrics.key_value_pairs, 6u);
+  EXPECT_EQ(metrics.distinct_keys, 3u);
+  EXPECT_EQ(metrics.key_space, 3u);
+  EXPECT_EQ(metrics.max_reducer_input, 2u);
+  ASSERT_EQ(reduced.size(), 3u);
+  // Reducers run in ascending key order.
+  EXPECT_EQ(reduced[0], std::make_pair(uint64_t{0}, 9));   // 3 + 6
+  EXPECT_EQ(reduced[1], std::make_pair(uint64_t{1}, 5));   // 1 + 4
+  EXPECT_EQ(reduced[2], std::make_pair(uint64_t{2}, 7));   // 2 + 5
+}
+
+TEST(Engine, ValuesArriveInEmissionOrder) {
+  const std::vector<int> inputs = {5, 3, 9, 1};
+  std::vector<int> seen;
+  auto map_fn = [](const int& x, Emitter<int>* out) { out->Emit(0, x); };
+  auto reduce_fn = [&](uint64_t, std::span<const int> values, ReduceContext*) {
+    seen.assign(values.begin(), values.end());
+  };
+  RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 1);
+  EXPECT_EQ(seen, inputs);
+}
+
+TEST(Engine, ReplicationCountsEveryEmission) {
+  const std::vector<int> inputs = {1, 2};
+  auto map_fn = [](const int&, Emitter<int>* out) {
+    for (uint64_t k = 0; k < 5; ++k) out->Emit(k, 0);
+  };
+  auto reduce_fn = [](uint64_t, std::span<const int>, ReduceContext*) {};
+  const MapReduceMetrics metrics =
+      RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 5);
+  EXPECT_EQ(metrics.key_value_pairs, 10u);
+  EXPECT_DOUBLE_EQ(metrics.ReplicationRate(), 5.0);
+}
+
+TEST(Engine, ReducerOutputsAndCostAggregate) {
+  const std::vector<int> inputs = {1, 2, 3};
+  auto map_fn = [](const int& x, Emitter<int>* out) {
+    out->Emit(static_cast<uint64_t>(x), x);
+  };
+  CollectingSink sink;
+  auto reduce_fn = [](uint64_t, std::span<const int> values,
+                      ReduceContext* context) {
+    context->cost->candidates += values.size();
+    const std::vector<NodeId> assignment = {7, 8};
+    context->EmitInstance(assignment);
+  };
+  const MapReduceMetrics metrics =
+      RunSingleRound<int, int>(inputs, map_fn, reduce_fn, &sink, 100);
+  EXPECT_EQ(metrics.outputs, 3u);
+  EXPECT_EQ(metrics.reduce_cost.candidates, 3u);
+  EXPECT_EQ(metrics.reduce_cost.outputs, 3u);
+  EXPECT_EQ(sink.assignments().size(), 3u);
+}
+
+TEST(Engine, EmptyInput) {
+  const std::vector<int> inputs;
+  auto map_fn = [](const int&, Emitter<int>* out) { out->Emit(0, 0); };
+  auto reduce_fn = [](uint64_t, std::span<const int>, ReduceContext*) {};
+  const MapReduceMetrics metrics =
+      RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 1);
+  EXPECT_EQ(metrics.key_value_pairs, 0u);
+  EXPECT_EQ(metrics.distinct_keys, 0u);
+  EXPECT_DOUBLE_EQ(metrics.ReplicationRate(), 0.0);
+}
+
+TEST(InstanceKey, CanonicalizesEdgeImages) {
+  const std::vector<std::pair<int, int>> pattern_edges = {{0, 1}, {1, 2}};
+  const std::vector<NodeId> a1 = {5, 2, 9};
+  const std::vector<NodeId> a2 = {9, 2, 5};  // path reversed
+  EXPECT_EQ(MakeInstanceKey(pattern_edges, a1),
+            MakeInstanceKey(pattern_edges, a2));
+}
+
+TEST(CollectingSink, KeysAreSortedMultiset) {
+  const std::vector<std::pair<int, int>> pattern_edges = {{0, 1}};
+  CollectingSink sink;
+  sink.Emit(std::vector<NodeId>{3, 4});
+  sink.Emit(std::vector<NodeId>{1, 2});
+  sink.Emit(std::vector<NodeId>{4, 3});
+  const auto keys = sink.Keys(pattern_edges);
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], (InstanceKey{{1, 2}}));
+  EXPECT_EQ(keys[1], (InstanceKey{{3, 4}}));
+  EXPECT_EQ(keys[2], (InstanceKey{{3, 4}}));  // duplicate preserved
+}
+
+TEST(Metrics, ToStringMentionsFields) {
+  MapReduceMetrics metrics;
+  metrics.input_records = 10;
+  metrics.key_value_pairs = 30;
+  const std::string text = metrics.ToString();
+  EXPECT_NE(text.find("kv_pairs=30"), std::string::npos);
+  EXPECT_NE(text.find("replication=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,136 @@
+// A battery of "awkward" named patterns — diamond (K4 minus an edge), paw,
+// bull, butterfly (two triangles sharing a vertex), gem — run through every
+// enumeration strategy. These shapes stress corner cases the symmetric
+// catalog misses: articulation points, odd automorphism groups, and
+// patterns with both triangle and pendant structure.
+
+#include <gtest/gtest.h>
+
+#include "core/subgraph_enumerator.h"
+#include "cq/cq_generation.h"
+#include "graph/generators.h"
+#include "serial/bounded_degree.h"
+#include "serial/decomposition.h"
+#include "tests/test_util.h"
+#include "util/combinatorics.h"
+
+namespace smr {
+namespace {
+
+struct NamedPattern {
+  const char* name;
+  SampleGraph pattern;
+  size_t automorphisms;
+};
+
+std::vector<NamedPattern> AwkwardPatterns() {
+  return {
+      // K4 minus an edge: Aut = 4 (swap the degree-2 pair, swap the
+      // degree-3 pair).
+      {"diamond", SampleGraph(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}),
+       4},
+      // Triangle with two pendant horns on different nodes.
+      {"bull",
+       SampleGraph(5, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}}), 2},
+      // Two triangles sharing node 0: Aut = 8 (swap within each wing, swap
+      // the wings).
+      {"butterfly",
+       SampleGraph(5, {{0, 1}, {0, 2}, {1, 2}, {0, 3}, {0, 4}, {3, 4}}), 8},
+      // Gem: path 1-2-3-4 plus apex 0 joined to all.
+      {"gem",
+       SampleGraph(5,
+                   {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {2, 3}, {3, 4}}),
+       2},
+  };
+}
+
+TEST(AwkwardPatterns, AutomorphismCounts) {
+  for (const auto& entry : AwkwardPatterns()) {
+    EXPECT_EQ(entry.pattern.Automorphisms().size(), entry.automorphisms)
+        << entry.name;
+  }
+}
+
+TEST(AwkwardPatterns, CqCountsMatchQuotient) {
+  for (const auto& entry : AwkwardPatterns()) {
+    const auto raw = GenerateOrderCqs(entry.pattern);
+    EXPECT_EQ(raw.size(), Factorial(entry.pattern.num_vars()) /
+                              entry.automorphisms)
+        << entry.name;
+  }
+}
+
+TEST(AwkwardPatterns, BucketOrientedExactlyOnce) {
+  const Graph g = ErdosRenyi(20, 70, 11);
+  for (const auto& entry : AwkwardPatterns()) {
+    const SubgraphEnumerator enumerator(entry.pattern);
+    CollectingSink sink;
+    enumerator.RunBucketOriented(g, 3, 5, &sink);
+    EXPECT_EQ(KeysOf(sink, entry.pattern),
+              GroundTruthKeys(entry.pattern, g))
+        << entry.name;
+  }
+}
+
+TEST(AwkwardPatterns, VariableOrientedExactlyOnce) {
+  const Graph g = ErdosRenyi(18, 60, 13);
+  for (const auto& entry : AwkwardPatterns()) {
+    const SubgraphEnumerator enumerator(entry.pattern);
+    std::vector<int> shares(entry.pattern.num_vars(), 2);
+    shares[1] = 3;
+    CollectingSink sink;
+    enumerator.RunVariableOriented(g, shares, 5, &sink);
+    EXPECT_EQ(KeysOf(sink, entry.pattern),
+              GroundTruthKeys(entry.pattern, g))
+        << entry.name;
+  }
+}
+
+TEST(AwkwardPatterns, DecompositionExactlyOnce) {
+  const Graph g = ErdosRenyi(14, 40, 17);
+  for (const auto& entry : AwkwardPatterns()) {
+    const auto decomposition = DecomposeSample(entry.pattern);
+    ASSERT_TRUE(decomposition.has_value()) << entry.name;
+    CollectingSink sink;
+    EnumerateByDecomposition(entry.pattern, *decomposition, g, &sink,
+                             nullptr);
+    EXPECT_EQ(KeysOf(sink, entry.pattern),
+              GroundTruthKeys(entry.pattern, g))
+        << entry.name << " via " << decomposition->ToString();
+  }
+}
+
+TEST(AwkwardPatterns, BoundedDegreeExactlyOnce) {
+  const Graph g = DegreeCapped(40, 90, 6, 19);
+  for (const auto& entry : AwkwardPatterns()) {
+    CollectingSink sink;
+    EnumerateBoundedDegree(entry.pattern, g, &sink, nullptr);
+    EXPECT_EQ(KeysOf(sink, entry.pattern),
+              GroundTruthKeys(entry.pattern, g))
+        << entry.name;
+  }
+}
+
+TEST(AwkwardPatterns, ButterflyDecomposesWithoutIsolated) {
+  // Butterfly = 5 nodes: one odd part (a triangle) + one edge... only if
+  // the shared node goes with one wing. Verify q = 1 at worst.
+  const auto decomposition = DecomposeSample(AwkwardPatterns()[2].pattern);
+  ASSERT_TRUE(decomposition.has_value());
+  EXPECT_LE(decomposition->IsolatedCount(), 1);
+}
+
+TEST(AwkwardPatterns, KnownCountsInCompleteGraph) {
+  // In K5: diamonds = C(5,4) * (6 edges to delete... ) — count via matcher
+  // and verify against an independent formula: each 4-subset of K5 yields
+  // 6 diamonds (choose the missing edge), so 5 * 6 = 30.
+  const Graph k5 = CompleteGraph(5);
+  const auto diamonds = AwkwardPatterns()[0].pattern;
+  EXPECT_EQ(CountInstances(diamonds, k5), 30u);
+  // Butterflies in K5: choose the center (5), split remaining 4 into two
+  // unordered pairs (3 ways): 15.
+  const auto butterfly = AwkwardPatterns()[2].pattern;
+  EXPECT_EQ(CountInstances(butterfly, k5), 15u);
+}
+
+}  // namespace
+}  // namespace smr

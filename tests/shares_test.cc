@@ -1,0 +1,304 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cq/cq_generation.h"
+#include "shares/cost_expression.h"
+#include "shares/replication_formulas.h"
+#include "shares/share_optimizer.h"
+#include "util/combinatorics.h"
+
+namespace smr {
+namespace {
+
+// The first lollipop CQ of Fig. 7: E(W,X) & E(X,Y) & E(X,Z) & E(Y,Z).
+ConjunctiveQuery LollipopFirstCq() {
+  return ConjunctiveQuery(4, {{0, 1}, {1, 2}, {1, 3}, {2, 3}},
+                          {{0, 1, 2, 3}});
+}
+
+TEST(CostExpression, SingleCqTermsAndDominance) {
+  const auto expression = CostExpression::ForSingleCq(LollipopFirstCq());
+  EXPECT_EQ(expression.terms().size(), 4u);
+  EXPECT_EQ(expression.BidirectionalCount(), 0);
+  // Example 4.1: W (variable 0) is dominated by X (variable 1).
+  const auto dominated = expression.DominatedVars();
+  EXPECT_TRUE(dominated[0]);
+  EXPECT_FALSE(dominated[1]);
+  EXPECT_FALSE(dominated[2]);
+  EXPECT_FALSE(dominated[3]);
+}
+
+TEST(CostExpression, CostPerEdgeMatchesHandComputation) {
+  // Example 4.1 with w=1, y=5: x = y^2+y = 30, z = 5. Terms:
+  // eyz + ez + ey + ex = 25 + 5 + 5 + 30 = 65.
+  const auto expression = CostExpression::ForSingleCq(LollipopFirstCq());
+  const std::vector<double> shares = {1, 30, 5, 5};
+  EXPECT_DOUBLE_EQ(expression.CostPerEdge(shares), 65.0);
+}
+
+TEST(OptimizeShares, Example41LollipopRelations) {
+  // Example 4.1: at the optimum ex = eyz + ey = eyz + ez, which gives
+  // z = y and x = y^2 + y (with w dominated at share 1).
+  const auto expression = CostExpression::ForSingleCq(LollipopFirstCq());
+  const double k = 750;  // the example's y=5, x=30, z=5 point
+  const auto solution = OptimizeShares(expression, k);
+  EXPECT_LT(solution.residual, 1e-4);
+  EXPECT_NEAR(solution.reducers, k, k * 1e-6);
+  EXPECT_DOUBLE_EQ(solution.shares[0], 1.0);
+  const double x = solution.shares[1];
+  const double y = solution.shares[2];
+  const double z = solution.shares[3];
+  EXPECT_NEAR(z, y, 1e-3 * y);
+  EXPECT_NEAR(x, y * y + y, 1e-2 * x);
+  EXPECT_NEAR(x, 30, 0.5);
+  EXPECT_NEAR(y, 5, 0.05);
+  EXPECT_NEAR(solution.cost_per_edge, 65, 0.5);
+}
+
+TEST(OptimizeShares, Theorem41RegularGraphsGetEqualShares) {
+  // For regular sample graphs evaluated by a single CQ, all shares are
+  // k^{1/p}.
+  const SampleGraph patterns[] = {SampleGraph::Triangle(),
+                                  SampleGraph::Cycle(4),
+                                  SampleGraph::Cycle(6),
+                                  SampleGraph::Clique(4)};
+  for (const auto& pattern : patterns) {
+    const auto cqs = GenerateOrderCqs(pattern);
+    const auto expression = CostExpression::ForSingleCq(cqs.front());
+    const double k = 4096;
+    const auto solution = OptimizeShares(expression, k);
+    const double expected = RegularShare(pattern.num_vars(), k);
+    for (int v = 0; v < pattern.num_vars(); ++v) {
+      EXPECT_NEAR(solution.shares[v], expected, 0.02 * expected)
+          << pattern.ToString() << " v=" << v;
+    }
+    // Cost at equal shares: (pd/2) * k / expected^2.
+    const double predicted = pattern.num_edges() * k / (expected * expected);
+    EXPECT_NEAR(solution.cost_per_edge, predicted, 0.01 * predicted);
+  }
+}
+
+TEST(CostExpression, SquareCqSetHasTwoBidirectionalEdges) {
+  // Example 4.2: edges (W,X) and (W,Z) appear in one orientation; (X,Y)
+  // and (Y,Z) in both.
+  const auto cqs = CqsForSample(SampleGraph::Square());
+  const auto expression = CostExpression::ForCqSet(cqs);
+  EXPECT_EQ(expression.terms().size(), 4u);
+  EXPECT_EQ(expression.BidirectionalCount(), 2);
+  for (const auto& term : expression.terms()) {
+    const bool touches_w = term.var_a == 0 || term.var_b == 0;
+    EXPECT_EQ(term.coefficient, touches_w ? 1.0 : 2.0);
+  }
+}
+
+TEST(OptimizeShares, Example42SquareRatios) {
+  // Example 4.2: optimum satisfies x = z and y = 2w; cost per edge is
+  // 4*sqrt(2k).
+  const auto cqs = CqsForSample(SampleGraph::Square());
+  const auto expression = CostExpression::ForCqSet(cqs);
+  const double k = 1 << 14;
+  const auto solution = OptimizeShares(expression, k);
+  EXPECT_LT(solution.residual, 1e-4);
+  const double w = solution.shares[0];
+  const double x = solution.shares[1];
+  const double y = solution.shares[2];
+  const double z = solution.shares[3];
+  EXPECT_NEAR(x, z, 1e-2 * x);
+  EXPECT_NEAR(y, 2 * w, 1e-2 * y);
+  EXPECT_NEAR(solution.cost_per_edge, 4 * std::sqrt(2 * k),
+              0.01 * 4 * std::sqrt(2 * k));
+}
+
+TEST(OptimizeShares, Example43CycleSixConcreteNumbers) {
+  // Example 4.3: C6 with the standard CQ selection has two unidirectional
+  // edges (at the X1-like variable) and four bidirectional ones. The
+  // paper's share vector (5, 10, 10, 10, 10, 10) at k = 500000 is optimal.
+  // Note: the optimum is a plateau (as in Example 4.2, the equalities do
+  // not pin the shares uniquely), and the optimal cost per edge is 60000,
+  // not the 50000 the example states — the terms E(X1,X2) and E(X1,X6)
+  // replicate each edge prod of the OTHER four shares = 10^4 times, not
+  // 5000 (see EXPERIMENTS.md).
+  const auto cqs = CqsForSample(SampleGraph::Cycle(6));
+  const auto expression = CostExpression::ForCqSet(cqs);
+  EXPECT_EQ(expression.BidirectionalCount(), 4);
+  const double k = 500000;
+  const auto solution = OptimizeShares(expression, k);
+  EXPECT_LT(solution.residual, 1e-4);
+  EXPECT_NEAR(solution.reducers, k, 1e-3 * k);
+  // Build the paper's share point: the variable on the two unidirectional
+  // (coefficient-1) terms gets 5, the rest 10.
+  std::vector<double> paper_point(6, 10.0);
+  for (int v = 0; v < 6; ++v) {
+    int unidirectional_terms = 0;
+    for (const auto& term : expression.terms()) {
+      if ((term.var_a == v || term.var_b == v) && term.coefficient == 1.0) {
+        ++unidirectional_terms;
+      }
+    }
+    if (unidirectional_terms == 2) paper_point[v] = 5.0;
+  }
+  EXPECT_NEAR(expression.CostPerEdge(paper_point), 60000, 1e-6);
+  EXPECT_NEAR(solution.cost_per_edge, 60000, 60);
+}
+
+TEST(OptimizeShares, Theorem43HalfShareStructure) {
+  // Cycles: Theorem 4.3 case (a) says the share point where the X1-like
+  // variable (touching the unidirectional edges) gets x and every other
+  // variable gets 2x is optimal. The optimum is a plateau, so instead of
+  // checking the solver's shares we check that the solver's optimal cost
+  // equals the cost at the theorem's point.
+  for (int p : {4, 6, 8}) {
+    const auto cqs = CqsForSample(SampleGraph::Cycle(p));
+    const auto expression = CostExpression::ForCqSet(cqs);
+    const double k = std::pow(2.0, p + 4);
+    const auto solution = OptimizeShares(expression, k);
+    EXPECT_LT(solution.residual, 1e-4) << "p=" << p;
+    const double x1 = std::pow(k / std::pow(2.0, p - 1), 1.0 / p);
+    std::vector<double> theorem_point(p, 2 * x1);
+    for (int v = 0; v < p; ++v) {
+      int unidirectional_terms = 0;
+      for (const auto& term : expression.terms()) {
+        if ((term.var_a == v || term.var_b == v) &&
+            term.coefficient == 1.0) {
+          ++unidirectional_terms;
+        }
+      }
+      if (unidirectional_terms == 2) theorem_point[v] = x1;
+    }
+    EXPECT_NEAR(solution.cost_per_edge, expression.CostPerEdge(theorem_point),
+                0.002 * solution.cost_per_edge)
+        << "p=" << p;
+  }
+}
+
+TEST(OptimizeShares, Theorem44CombinedBeatsSplit) {
+  // Evaluating the whole CQ group at once costs no more than evaluating
+  // subgroups separately with the reducers split between them.
+  const SampleGraph patterns[] = {SampleGraph::Square(),
+                                  SampleGraph::Lollipop(),
+                                  SampleGraph::Cycle(5)};
+  for (const auto& pattern : patterns) {
+    const auto cqs = CqsForSample(pattern);
+    if (cqs.size() < 2) continue;
+    const double k = 10000;
+    const auto combined =
+        OptimizeShares(CostExpression::ForCqSet(cqs), k);
+    // Split: each CQ evaluated alone with its own k reducers; total cost is
+    // the sum (each subgroup ships every edge separately).
+    double split_cost = 0;
+    for (const auto& cq : cqs) {
+      split_cost +=
+          OptimizeShares(CostExpression::ForSingleCq(cq), k).cost_per_edge;
+    }
+    EXPECT_LE(combined.cost_per_edge, split_cost * (1 + 1e-6))
+        << pattern.ToString();
+  }
+}
+
+TEST(OptimizeShares, Eq2ScenarioMatchesOptimizer) {
+  // Example 4.4 realized on C6: S1 = {0,1}, S2 = {2,5}, S3 = {3,4}.
+  // Bidirectional (coefficient 2): (0,1), (1,2), (0,5); unidirectional:
+  // (2,3), (3,4), (4,5).
+  std::vector<CostExpression::Term> terms = {
+      {2.0, 0, 1}, {2.0, 1, 2}, {2.0, 0, 5},
+      {1.0, 2, 3}, {1.0, 3, 4}, {1.0, 4, 5}};
+  const CostExpression expression(6, std::move(terms));
+  const double k = 1e6;
+  const auto solution = OptimizeShares(expression, k);
+  EXPECT_LT(solution.residual, 1e-4);
+  // Predicted ratios: a = 2^{2/3} b, z = 2^{1/3} b.
+  const double a = solution.shares[0];
+  const double b = solution.shares[3];
+  const double z = solution.shares[2];
+  EXPECT_NEAR(a / b, std::pow(2.0, 2.0 / 3.0), 0.02);
+  EXPECT_NEAR(z / b, std::pow(2.0, 1.0 / 3.0), 0.02);
+  EXPECT_NEAR(solution.cost_per_edge, Eq2Replication(6, 2, 2, k),
+              0.01 * solution.cost_per_edge);
+}
+
+TEST(OptimizeShares, Eq3ScenarioMatchesOptimizer) {
+  // Example 4.5 realized on C4: S2 = {0, 2} independent and covering all
+  // edges; S1 = {1} (bidirectional side), S3 = {3} (unidirectional side).
+  std::vector<CostExpression::Term> terms = {
+      {2.0, 0, 1}, {2.0, 1, 2}, {1.0, 2, 3}, {1.0, 0, 3}};
+  const CostExpression expression(4, std::move(terms));
+  const double k = 1e6;
+  const auto solution = OptimizeShares(expression, k);
+  EXPECT_LT(solution.residual, 1e-4);
+  EXPECT_NEAR(solution.cost_per_edge, Eq3Replication(4, 2, 1, k),
+              0.01 * solution.cost_per_edge);
+  // The optimum is again a plateau; verify the paper's point (S1 and S2 at
+  // a, S3 at a/2 with a = k^{1/p} 2^{s3/p}) achieves the same cost.
+  const double a = std::pow(k, 0.25) * std::pow(2.0, 0.25);
+  const std::vector<double> paper_point = {a, a, a, a / 2};
+  EXPECT_NEAR(expression.CostPerEdge(paper_point), solution.cost_per_edge,
+              0.01 * solution.cost_per_edge);
+}
+
+TEST(ReplicationFormulas, TriangleRows) {
+  // Fig. 2: Partition b=12 -> 13.75m; Section 2.2 b=6 -> 16m;
+  // Section 2.3 b=10 -> 10m.
+  EXPECT_DOUBLE_EQ(PartitionTriangleReplication(12), 13.75);
+  EXPECT_DOUBLE_EQ(MultiwayTriangleReplication(6), 16.0);
+  EXPECT_DOUBLE_EQ(OrderedBucketTriangleReplication(10), 10.0);
+}
+
+TEST(ReplicationFormulas, Fig2ReducerCounts) {
+  // Partition b=12: C(12,3) = 220; Section 2.2 b=6: 6^3 = 216; Section 2.3
+  // b=10: C(12,3) = 220. (The paper writes 2^20 and 2^16 loosely; the
+  // quoted counts are 220 vs 216.)
+  EXPECT_EQ(Binomial(12, 3), 220u);
+  EXPECT_EQ(BucketOrientedReducerCount(10, 3), 220u);
+}
+
+TEST(ReplicationFormulas, BucketOrientedCounts) {
+  for (int b = 2; b <= 12; ++b) {
+    for (int p = 2; p <= 5; ++p) {
+      EXPECT_EQ(BucketOrientedReducerCount(b, p), Binomial(b + p - 1, p));
+      EXPECT_EQ(BucketOrientedEdgeReplication(b, p),
+                Binomial(b + p - 3, p - 2));
+    }
+  }
+}
+
+TEST(ReplicationFormulas, Section45RatioApproaches1Plus1OverPMinus1) {
+  // Generalized Partition vs bucket-oriented replication tends to
+  // 1 + 1/(p-1) for large b.
+  for (int p = 3; p <= 6; ++p) {
+    const int b = 6000;
+    const double ratio =
+        GeneralizedPartitionReplication(b, p) /
+        static_cast<double>(BucketOrientedEdgeReplication(b, p));
+    EXPECT_NEAR(ratio, 1.0 + 1.0 / (p - 1), 0.01) << "p=" << p;
+    // And the ratio decreases toward 1 as p grows (Section 4.5).
+    if (p > 3) {
+      EXPECT_LT(ratio, GeneralizedPartitionReplication(b, p - 1) /
+                           static_cast<double>(
+                               BucketOrientedEdgeReplication(b, p - 1)));
+    }
+  }
+}
+
+TEST(ReplicationFormulas, Fig1AsymptoticRatios) {
+  // Fig. 1: Section 2.3 beats Partition by 3/2 and Section 2.2 by
+  // 3/6^{1/3} = 1.65.
+  const auto asymptotics = Fig1Asymptotics(1e6);
+  EXPECT_NEAR(asymptotics.partition_cost / asymptotics.ordered_cost, 1.5,
+              1e-9);
+  EXPECT_NEAR(asymptotics.multiway_cost / asymptotics.ordered_cost,
+              3.0 / std::cbrt(6.0), 1e-9);
+}
+
+TEST(OptimizeShares, RejectsBadK) {
+  const auto expression = CostExpression::ForSingleCq(LollipopFirstCq());
+  EXPECT_THROW(OptimizeShares(expression, 0.5), std::invalid_argument);
+}
+
+TEST(CostExpression, RejectsBadTerms) {
+  EXPECT_THROW(CostExpression(3, {{1.0, 0, 0}}), std::invalid_argument);
+  EXPECT_THROW(CostExpression(3, {{1.0, 0, 3}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smr

@@ -1,0 +1,28 @@
+#ifndef SMR_TESTS_TEST_UTIL_H_
+#define SMR_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "graph/sample_graph.h"
+#include "mapreduce/instance_sink.h"
+#include "serial/matcher.h"
+
+namespace smr {
+
+/// Canonical sorted multiset of instance keys from a collecting sink.
+inline std::vector<InstanceKey> KeysOf(const CollectingSink& sink,
+                                       const SampleGraph& pattern) {
+  return sink.Keys(pattern.edges());
+}
+
+/// Ground-truth instance keys via the reference serial matcher.
+inline std::vector<InstanceKey> GroundTruthKeys(const SampleGraph& pattern,
+                                                const Graph& graph) {
+  CollectingSink sink;
+  EnumerateInstances(pattern, graph, &sink, nullptr);
+  return KeysOf(sink, pattern);
+}
+
+}  // namespace smr
+
+#endif  // SMR_TESTS_TEST_UTIL_H_
