@@ -4,7 +4,7 @@
 //
 // Usage:
 //   smr_cli --pattern <name> --input <spec> [--strategy <spec>] [--seed N]
-//           [--stats] [--print N]
+//           [--threads N] [--stats] [--print N]
 //
 //   --pattern   triangle | square | lollipop | path:<p> | star:<p> |
 //               cycle:<p> | clique:<p> | hypercube:<d>
@@ -12,6 +12,8 @@
 //               pa:<n>:<deg>:<seed> (preferential attachment)
 //               file:<path>        (edge list)
 //   --strategy  bucket:<b> (default bucket:8) | variable:<k> | serial
+//   --threads   engine worker threads (0 = one per hardware context;
+//               default 1). Results are identical for every value.
 //   --stats     print graph statistics first
 //   --print N   print the first N instances found
 //
@@ -33,6 +35,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/statistics.h"
+#include "mapreduce/execution_policy.h"
 
 namespace {
 
@@ -96,6 +99,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> input_spec;
   std::string strategy = "bucket:8";
   uint64_t seed = 1;
+  int threads = 1;
   bool stats = false;
   size_t print_limit = 0;
   for (int i = 1; i < argc; ++i) {
@@ -112,6 +116,13 @@ int main(int argc, char** argv) {
       strategy = next();
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--threads") {
+      const std::string value = next();
+      char* end = nullptr;
+      threads = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (end == value.c_str() || *end != '\0' || threads < 0) {
+        Usage("--threads needs a nonnegative integer (0 = max parallel)");
+      }
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
@@ -140,7 +151,20 @@ int main(int argc, char** argv) {
       print_limit > 0 ? static_cast<smr::InstanceSink*>(&collecting)
                       : static_cast<smr::InstanceSink*>(&counting);
 
+  const smr::ExecutionPolicy policy =
+      threads == 0 ? smr::ExecutionPolicy::MaxParallel()
+                   : smr::ExecutionPolicy::WithThreads(
+                         static_cast<unsigned>(std::max(1, threads)));
+
   const auto strategy_parts = SplitColons(strategy);
+  if (policy.num_threads > 1) {
+    // The serial strategy never touches the engine; don't claim otherwise.
+    if (strategy_parts[0] == "serial") {
+      std::printf("engine:  --threads ignored by the serial strategy\n");
+    } else {
+      std::printf("engine:  %u worker threads\n", policy.num_threads);
+    }
+  }
   uint64_t found = 0;
   if (strategy_parts[0] == "serial") {
     found = enumerator.RunSerial(graph, sink);
@@ -150,7 +174,8 @@ int main(int argc, char** argv) {
     const int b = strategy_parts.size() > 1
                       ? std::atoi(strategy_parts[1].c_str())
                       : 8;
-    const auto metrics = enumerator.RunBucketOriented(graph, b, seed, sink);
+    const auto metrics =
+        enumerator.RunBucketOriented(graph, b, seed, sink, policy);
     found = metrics.outputs;
     std::printf("bucket-oriented (b=%d): %s\n", b,
                 metrics.ToString().c_str());
@@ -161,7 +186,7 @@ int main(int argc, char** argv) {
     const auto plan = smr::PlanEnumeration(pattern, k);
     std::printf("plan:    %s\n", plan.ToString().c_str());
     const auto metrics = enumerator.RunVariableOriented(
-        graph, smr::RoundShares(plan.shares), seed, sink);
+        graph, smr::RoundShares(plan.shares), seed, sink, policy);
     found = metrics.outputs;
     std::printf("variable-oriented: %s\n", metrics.ToString().c_str());
   } else {

@@ -59,10 +59,10 @@ class ReducerSink : public InstanceSink {
 
 }  // namespace
 
-MapReduceMetrics BucketOrientedEnumerate(const SampleGraph& pattern,
-                                         std::span<const ConjunctiveQuery> cqs,
-                                         const Graph& graph, int buckets,
-                                         uint64_t seed, InstanceSink* sink) {
+MapReduceMetrics BucketOrientedEnumerate(
+    const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
+    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy) {
   const int p = pattern.num_vars();
   if (buckets < 1 || p < 2) throw std::invalid_argument("bad parameters");
   const BucketHasher hasher(buckets, seed);
@@ -111,12 +111,13 @@ MapReduceMetrics BucketOrientedEnumerate(const SampleGraph& pattern,
   };
 
   return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space);
+                                    key_space, policy);
 }
 
 MapReduceMetrics GeneralizedPartitionEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
-    const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink) {
+    const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy) {
   const int p = pattern.num_vars();
   const int b = num_groups;
   if (p < 3 || b < p) {
@@ -189,7 +190,7 @@ MapReduceMetrics GeneralizedPartitionEnumerate(
   };
 
   return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space);
+                                    key_space, policy);
 }
 
 }  // namespace smr

@@ -7,6 +7,7 @@
 #include "cq/conjunctive_query.h"
 #include "graph/graph.h"
 #include "graph/sample_graph.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 
@@ -25,10 +26,10 @@ namespace smr {
 ///
 /// `cqs` must be the CQ set for `pattern` (from CqsForSample); it is taken
 /// as a parameter so callers can reuse it across runs.
-MapReduceMetrics BucketOrientedEnumerate(const SampleGraph& pattern,
-                                         std::span<const ConjunctiveQuery> cqs,
-                                         const Graph& graph, int buckets,
-                                         uint64_t seed, InstanceSink* sink);
+MapReduceMetrics BucketOrientedEnumerate(
+    const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
+    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 /// The generalization of the Partition algorithm to p-node sample graphs
 /// that Section 4.5 compares against: nodes are partitioned into b groups,
@@ -37,7 +38,8 @@ MapReduceMetrics BucketOrientedEnumerate(const SampleGraph& pattern,
 /// for the 1 + 1/(p-1) replication-ratio experiment. Requires b >= p >= 3.
 MapReduceMetrics GeneralizedPartitionEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
-    const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink);
+    const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 }  // namespace smr
 

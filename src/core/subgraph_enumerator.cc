@@ -12,20 +12,25 @@ SubgraphEnumerator::SubgraphEnumerator(SampleGraph pattern)
     : pattern_(std::move(pattern)), cqs_(CqsForSample(pattern_)) {}
 
 MapReduceMetrics SubgraphEnumerator::RunBucketOriented(
-    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink) const {
-  return BucketOrientedEnumerate(pattern_, cqs_, graph, buckets, seed, sink);
+    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy) const {
+  return BucketOrientedEnumerate(pattern_, cqs_, graph, buckets, seed, sink,
+                                 policy);
 }
 
 MapReduceMetrics SubgraphEnumerator::RunVariableOriented(
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
-    InstanceSink* sink) const {
-  return VariableOrientedEnumerate(pattern_, cqs_, graph, shares, seed, sink);
+    InstanceSink* sink, const ExecutionPolicy& policy) const {
+  return VariableOrientedEnumerate(pattern_, cqs_, graph, shares, seed, sink,
+                                   policy);
 }
 
 MapReduceMetrics SubgraphEnumerator::RunVariableOrientedAuto(
-    const Graph& graph, double k, uint64_t seed, InstanceSink* sink) const {
+    const Graph& graph, double k, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy) const {
   const ShareSolution solution = OptimalShares(k);
-  return RunVariableOriented(graph, RoundShares(solution.shares), seed, sink);
+  return RunVariableOriented(graph, RoundShares(solution.shares), seed, sink,
+                             policy);
 }
 
 ShareSolution SubgraphEnumerator::OptimalShares(double k) const {

@@ -41,7 +41,8 @@ struct RoleEdge {
 }  // namespace
 
 MapReduceMetrics MultiwayJoinTriangles(const Graph& graph, int buckets,
-                                       uint64_t seed, InstanceSink* sink) {
+                                       uint64_t seed, InstanceSink* sink,
+                                       const ExecutionPolicy& policy) {
   if (buckets < 1) throw std::invalid_argument("buckets must be >= 1");
   const BucketHasher hasher(buckets, seed);
   const uint64_t key_space = static_cast<uint64_t>(buckets) * buckets * buckets;
@@ -91,11 +92,12 @@ MapReduceMetrics MultiwayJoinTriangles(const Graph& graph, int buckets,
   };
 
   return RunSingleRound<Edge, RoleEdge>(graph.edges(), map_fn, reduce_fn, sink,
-                                        key_space);
+                                        key_space, policy);
 }
 
 MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
-                                        uint64_t seed, InstanceSink* sink) {
+                                        uint64_t seed, InstanceSink* sink,
+                                        const ExecutionPolicy& policy) {
   if (buckets < 1) throw std::invalid_argument("buckets must be >= 1");
   const BucketHasher hasher(buckets, seed);
   const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
@@ -140,11 +142,12 @@ MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
   };
 
   return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space);
+                                    key_space, policy);
 }
 
 MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
-                                    uint64_t seed, InstanceSink* sink) {
+                                    uint64_t seed, InstanceSink* sink,
+                                    const ExecutionPolicy& policy) {
   if (num_groups < 3) throw std::invalid_argument("Partition needs b >= 3");
   const int b = num_groups;
   const BucketHasher hasher(b, seed);
@@ -217,7 +220,7 @@ MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
   };
 
   return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space);
+                                    key_space, policy);
 }
 
 }  // namespace smr

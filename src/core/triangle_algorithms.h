@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "graph/graph.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 
@@ -28,21 +29,24 @@ namespace smr {
 /// several reducers; each reducer keeps a triangle only when its own triple
 /// is the canonical (lexicographically least) one, the de-duplication the
 /// paper notes Partition must pay extra work for.
-MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
-                                    uint64_t seed, InstanceSink* sink);
+MapReduceMetrics PartitionTriangles(
+    const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 /// The multiway-join algorithm of [2] (Section 2.2): the join
 /// E(X,Y) |><| E(Y,Z) |><| E(X,Z) with each variable hashed to b buckets;
 /// b^3 reducers; each edge is sent to 3b-2 distinct reducers (the overlap
 /// of the three roles is deduplicated, as in the paper's footnote 1).
-MapReduceMetrics MultiwayJoinTriangles(const Graph& graph, int buckets,
-                                       uint64_t seed, InstanceSink* sink);
+MapReduceMetrics MultiwayJoinTriangles(
+    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 /// The ordered-bucket algorithm of Section 2.3: nodes ordered by
 /// (bucket, id), so only the C(b+2,3) nondecreasing bucket triples need
 /// reducers and each edge is replicated exactly b times.
-MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
-                                        uint64_t seed, InstanceSink* sink);
+MapReduceMetrics OrderedBucketTriangles(
+    const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 }  // namespace smr
 

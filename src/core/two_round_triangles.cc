@@ -20,11 +20,14 @@ struct PathOrEdge {
 }  // namespace
 
 TwoRoundMetrics TwoRoundTriangles(const Graph& graph, const NodeOrder& order,
-                                  InstanceSink* sink) {
+                                  InstanceSink* sink,
+                                  const ExecutionPolicy& policy) {
   TwoRoundMetrics result;
 
   // ---- Round 1: group edges by their order-minimum endpoint; emit
-  // properly ordered 2-paths.
+  // properly ordered 2-paths. Runs serially regardless of `policy`: the
+  // reducer appends to the shared `two_paths` list, and round 2's inputs
+  // must keep the serial order for the determinism guarantee.
   std::vector<std::array<NodeId, 3>> two_paths;  // (u, mid, w), u < w
   auto map1 = [&](const Edge& edge, Emitter<NodeId>* out) {
     const Edge oriented = order.Orient(edge);
@@ -89,7 +92,7 @@ TwoRoundMetrics TwoRoundTriangles(const Graph& graph, const NodeOrder& order,
   };
   result.round2 = RunSingleRound<Round2Input, PathOrEdge>(
       inputs, map2, reduce2, sink,
-      static_cast<uint64_t>(graph.num_nodes()) * graph.num_nodes());
+      static_cast<uint64_t>(graph.num_nodes()) * graph.num_nodes(), policy);
   return result;
 }
 

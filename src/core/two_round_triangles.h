@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "graph/node_order.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 
@@ -34,9 +35,11 @@ struct TwoRoundMetrics {
 
 /// Runs both rounds; emits each triangle exactly once (as the assignment
 /// sorted by `order`). Uses the nondecreasing-degree order by default so
-/// round 1's 2-path count is O(m^{3/2}).
-TwoRoundMetrics TwoRoundTriangles(const Graph& graph, const NodeOrder& order,
-                                  InstanceSink* sink);
+/// round 1's 2-path count is O(m^{3/2}). Round 1 always runs serially (its
+/// reducer appends to a shared 2-path list); `policy` parallelizes round 2.
+TwoRoundMetrics TwoRoundTriangles(
+    const Graph& graph, const NodeOrder& order, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 }  // namespace smr
 

@@ -38,7 +38,7 @@ std::vector<int> RoundShares(const std::vector<double>& shares) {
 MapReduceMetrics VariableOrientedEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
-    InstanceSink* sink) {
+    InstanceSink* sink, const ExecutionPolicy& policy) {
   const int p = pattern.num_vars();
   if (static_cast<int>(shares.size()) != p) {
     throw std::invalid_argument("need one share per variable");
@@ -199,7 +199,7 @@ MapReduceMetrics VariableOrientedEnumerate(
   };
 
   return RunSingleRound<Edge, SlotTuple>(graph.edges(), map_fn, reduce_fn,
-                                         sink, key_space);
+                                         sink, key_space, policy);
 }
 
 }  // namespace smr

@@ -8,6 +8,7 @@
 #include "cq/conjunctive_query.h"
 #include "graph/graph.h"
 #include "graph/sample_graph.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 
@@ -30,7 +31,8 @@ namespace smr {
 MapReduceMetrics VariableOrientedEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
-    InstanceSink* sink);
+    InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 /// Rounds the optimizer's fractional shares to integers >= 1 (nearest
 /// integer), the practical step the paper leaves implicit (its examples pick

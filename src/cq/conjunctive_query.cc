@@ -116,9 +116,13 @@ bool ConjunctiveQuery::ConditionIsPartialOrderExact() const {
 
 std::string ConjunctiveQuery::ToString(
     const std::vector<std::string>& names) const {
-  auto name = [&names](int v) {
+  // Built without operator+ to dodge GCC 12's -Wrestrict false positive on
+  // string concatenation (GCC PR105651).
+  auto name = [&names](int v) -> std::string {
     if (v < static_cast<int>(names.size())) return names[v];
-    return "X" + std::to_string(v);
+    std::string fallback("X");
+    fallback += std::to_string(v);
+    return fallback;
   };
   std::ostringstream os;
   for (size_t i = 0; i < subgoals_.size(); ++i) {

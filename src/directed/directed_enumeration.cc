@@ -148,7 +148,12 @@ uint64_t EnumerateDirectedInstances(const DirectedSampleGraph& pattern,
 
 MapReduceMetrics DirectedBucketOrientedEnumerate(
     const DirectedSampleGraph& pattern, const DirectedGraph& graph,
-    int buckets, uint64_t seed, InstanceSink* sink) {
+    int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy) {
+  // Materialize the lazily computed automorphism cache before the round:
+  // the reducers call MatchDirected concurrently, and the cache fill is not
+  // synchronized.
+  pattern.Automorphisms();
   const int p = pattern.num_vars();
   const BucketHasher hasher(buckets, seed);
   const uint64_t key_space = Binomial(buckets + p - 1, p);
@@ -229,7 +234,7 @@ MapReduceMetrics DirectedBucketOrientedEnumerate(
   };
 
   return RunSingleRound<Arc, Arc>(graph.arcs(), map_fn, reduce_fn, sink,
-                                  key_space);
+                                  key_space, policy);
 }
 
 }  // namespace smr

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "directed/directed_graph.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 #include "util/cost_model.h"
@@ -30,7 +31,8 @@ uint64_t EnumerateDirectedInstances(const DirectedSampleGraph& pattern,
 /// whose bucket multiset is their own.
 MapReduceMetrics DirectedBucketOrientedEnumerate(
     const DirectedSampleGraph& pattern, const DirectedGraph& graph,
-    int buckets, uint64_t seed, InstanceSink* sink);
+    int buckets, uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 }  // namespace smr
 

@@ -166,7 +166,7 @@ std::vector<int> UnpackDigits(uint64_t key, int base, int count) {
 
 MapReduceMetrics LabeledBucketOrientedEnumerate(
     const LabeledSampleGraph& pattern, const LabeledGraph& graph, int buckets,
-    uint64_t seed, InstanceSink* sink) {
+    uint64_t seed, InstanceSink* sink, const ExecutionPolicy& policy) {
   const int p = pattern.num_vars();
   const BucketHasher hasher(buckets, seed);
   const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
@@ -255,7 +255,7 @@ MapReduceMetrics LabeledBucketOrientedEnumerate(
   };
 
   return RunSingleRound<LabeledEdge, LabeledEdge>(
-      graph.labeled_edges(), map_fn, reduce_fn, sink, key_space);
+      graph.labeled_edges(), map_fn, reduce_fn, sink, key_space, policy);
 }
 
 }  // namespace smr

@@ -6,6 +6,7 @@
 
 #include "cq/conjunctive_query.h"
 #include "labeled/labeled_graph.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 #include "util/cost_model.h"
@@ -43,7 +44,8 @@ uint64_t EnumerateLabeledInstances(const LabeledSampleGraph& pattern,
 /// reducers). Every labeled instance is emitted exactly once.
 MapReduceMetrics LabeledBucketOrientedEnumerate(
     const LabeledSampleGraph& pattern, const LabeledGraph& graph, int buckets,
-    uint64_t seed, InstanceSink* sink);
+    uint64_t seed, InstanceSink* sink,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
 
 }  // namespace smr
 

@@ -3,11 +3,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
 #include "util/cost_model.h"
@@ -24,6 +27,14 @@ namespace smr {
 ///
 /// The shuffle is sort-based and fully deterministic: values arrive at each
 /// reducer in mapper emission order, reducers run in ascending key order.
+///
+/// With an ExecutionPolicy of more than one thread, mappers run on
+/// contiguous input slices and reducers on contiguous key ranges, each
+/// worker collecting into private buffers that are merged in slice/range
+/// order afterwards — so metrics and sink emissions are byte-identical to
+/// the serial engine for every thread count. Map and reduce callbacks must
+/// therefore be re-entrant: they may mutate only their own locals and the
+/// ReduceContext/Emitter they are handed, never shared captured state.
 
 /// Collects the key-value pairs emitted by a mapper.
 template <typename Value>
@@ -51,26 +62,127 @@ struct ReduceContext {
   }
 };
 
+namespace engine_internal {
+
+/// Reduces the already-sorted pairs in [begin, end) — which must be aligned
+/// to key boundaries — accumulating reduce-phase counters into `metrics` and
+/// instances into `sink`.
+template <typename Value>
+void ReduceRange(
+    const std::vector<std::pair<uint64_t, Value>>& pairs, size_t begin,
+    size_t end,
+    const std::function<void(uint64_t key, std::span<const Value>,
+                             ReduceContext*)>& reduce_fn,
+    InstanceSink* sink, MapReduceMetrics* metrics) {
+  std::vector<Value> group;
+  size_t i = begin;
+  while (i < end) {
+    const uint64_t key = pairs[i].first;
+    group.clear();
+    while (i < end && pairs[i].first == key) {
+      group.push_back(pairs[i].second);
+      ++i;
+    }
+    ++metrics->distinct_keys;
+    metrics->max_reducer_input =
+        std::max<uint64_t>(metrics->max_reducer_input, group.size());
+    ReduceContext context{&metrics->reduce_cost, sink, 0};
+    reduce_fn(key, std::span<const Value>(group), &context);
+    metrics->outputs += context.outputs;
+  }
+}
+
+/// Splits [0, size) into at most `parts` contiguous slices of near-equal
+/// length; returns the slice boundaries (parts+1 entries).
+inline std::vector<size_t> SliceBoundaries(size_t size, unsigned parts) {
+  std::vector<size_t> bounds;
+  bounds.reserve(parts + 1);
+  for (unsigned t = 0; t <= parts; ++t) {
+    bounds.push_back(size * t / parts);
+  }
+  return bounds;
+}
+
+/// Runs `task(t)` for t in [0, count): task 0 on the calling thread, the
+/// rest on count-1 spawned threads. Joins them all and rethrows the
+/// lowest-index worker exception — so a callback that throws surfaces to
+/// the caller exactly as it would under the serial engine instead of
+/// reaching std::terminate.
+template <typename Task>
+void RunWorkers(size_t count, const Task& task) {
+  if (count == 1) {
+    task(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(count);
+  std::vector<std::thread> workers;
+  workers.reserve(count - 1);
+  for (size_t t = 1; t < count; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        task(t);
+      } catch (...) {
+        errors[t] = std::current_exception();
+      }
+    });
+  }
+  try {
+    task(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace engine_internal
+
 /// Runs one round. `map_fn` is applied to every input and emits key-value
 /// pairs; `reduce_fn` is invoked once per distinct key with all its values.
 /// `key_space` is the size of the reducer id space the algorithm declared
-/// (purely informational, copied into the metrics).
+/// (purely informational, copied into the metrics). `policy` selects the
+/// host-side scheduling; results are identical for every thread count.
 template <typename Input, typename Value>
 MapReduceMetrics RunSingleRound(
     std::span<const Input> inputs,
     const std::function<void(const Input&, Emitter<Value>*)>& map_fn,
     const std::function<void(uint64_t key, std::span<const Value>,
                              ReduceContext*)>& reduce_fn,
-    InstanceSink* sink, uint64_t key_space) {
+    InstanceSink* sink, uint64_t key_space,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial()) {
   MapReduceMetrics metrics;
   metrics.input_records = inputs.size();
   metrics.key_space = key_space;
 
-  // Map phase.
+  const unsigned map_threads = policy.EffectiveThreads(inputs.size());
+
+  // Map phase. Each worker maps a contiguous input slice into a private
+  // pair vector; concatenating the slices in order reproduces the serial
+  // emission order exactly.
   std::vector<std::pair<uint64_t, Value>> pairs;
-  Emitter<Value> emitter(&pairs);
-  for (const Input& input : inputs) {
-    map_fn(input, &emitter);
+  if (map_threads <= 1) {
+    Emitter<Value> emitter(&pairs);
+    for (const Input& input : inputs) {
+      map_fn(input, &emitter);
+    }
+  } else {
+    const std::vector<size_t> bounds =
+        engine_internal::SliceBoundaries(inputs.size(), map_threads);
+    std::vector<std::vector<std::pair<uint64_t, Value>>> slices(map_threads);
+    engine_internal::RunWorkers(map_threads, [&](size_t t) {
+      Emitter<Value> emitter(&slices[t]);
+      for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+        map_fn(inputs[i], &emitter);
+      }
+    });
+    size_t total = 0;
+    for (const auto& slice : slices) total += slice.size();
+    pairs.reserve(total);
+    for (auto& slice : slices) {
+      std::move(slice.begin(), slice.end(), std::back_inserter(pairs));
+    }
   }
   metrics.key_value_pairs = pairs.size();
   metrics.bytes = pairs.size() * (sizeof(uint64_t) + sizeof(Value));
@@ -80,22 +192,51 @@ MapReduceMetrics RunSingleRound(
                    [](const auto& a, const auto& b) { return a.first < b.first; });
 
   // Reduce phase.
-  std::vector<Value> group;
-  size_t i = 0;
-  while (i < pairs.size()) {
-    const uint64_t key = pairs[i].first;
-    group.clear();
-    while (i < pairs.size() && pairs[i].first == key) {
-      group.push_back(pairs[i].second);
-      ++i;
-    }
-    ++metrics.distinct_keys;
-    metrics.max_reducer_input =
-        std::max<uint64_t>(metrics.max_reducer_input, group.size());
-    ReduceContext context{&metrics.reduce_cost, sink};
-    reduce_fn(key, std::span<const Value>(group), &context);
-    metrics.outputs += context.outputs;
+  const unsigned reduce_threads = policy.EffectiveThreads(pairs.size());
+  if (reduce_threads <= 1) {
+    engine_internal::ReduceRange(pairs, 0, pairs.size(), reduce_fn, sink,
+                                 &metrics);
+    return metrics;
   }
+
+  // Partition the sorted pairs into contiguous chunks aligned to key
+  // boundaries, balanced by pair count. Chunk t covers a key range strictly
+  // below chunk t+1's, so replaying shard outputs in chunk order restores
+  // the serial ascending-key emission order.
+  std::vector<size_t> starts;
+  starts.reserve(reduce_threads);
+  const size_t target = (pairs.size() + reduce_threads - 1) / reduce_threads;
+  size_t pos = 0;
+  while (pos < pairs.size()) {
+    starts.push_back(pos);
+    size_t next = std::min(pos + target, pairs.size());
+    while (next < pairs.size() && pairs[next].first == pairs[next - 1].first) {
+      ++next;
+    }
+    pos = next;
+  }
+  starts.push_back(pairs.size());
+
+  const size_t chunks = starts.size() - 1;
+  // Counting sinks don't need their emissions buffered and replayed — the
+  // shard output totals suffice — so workers run sink-less and the counts
+  // are folded in afterwards.
+  const bool counts_only = sink != nullptr && sink->CountsOnly();
+  const bool buffered = sink != nullptr && !counts_only;
+  std::vector<MapReduceMetrics> shard_metrics(chunks);
+  std::vector<BufferingSink> shard_sinks(buffered ? chunks : 0);
+  engine_internal::RunWorkers(chunks, [&](size_t c) {
+    engine_internal::ReduceRange(
+        pairs, starts[c], starts[c + 1], reduce_fn,
+        buffered ? static_cast<InstanceSink*>(&shard_sinks[c]) : nullptr,
+        &shard_metrics[c]);
+  });
+
+  for (size_t c = 0; c < chunks; ++c) {
+    metrics.MergeReduceShard(shard_metrics[c]);
+    if (buffered) shard_sinks[c].FlushTo(sink);
+  }
+  if (counts_only) sink->EmitCount(metrics.outputs);
   return metrics;
 }
 

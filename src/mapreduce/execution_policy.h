@@ -1,0 +1,43 @@
+#ifndef SMR_MAPREDUCE_EXECUTION_POLICY_H_
+#define SMR_MAPREDUCE_EXECUTION_POLICY_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+
+namespace smr {
+
+/// How the simulated map-reduce engine schedules its work on the host.
+///
+/// The policy changes only wall-clock behavior, never semantics: for every
+/// thread count the engine produces byte-identical metrics and emits the
+/// same instances to the sink in the same order as the serial engine
+/// (reducers in ascending key order, values in mapper emission order).
+struct ExecutionPolicy {
+  /// Number of worker threads for the map and reduce phases. 1 = run
+  /// inline on the calling thread (the original serial engine).
+  unsigned num_threads = 1;
+
+  static ExecutionPolicy Serial() { return ExecutionPolicy{1}; }
+
+  static ExecutionPolicy WithThreads(unsigned n) {
+    return ExecutionPolicy{std::max(1u, n)};
+  }
+
+  /// One thread per hardware context.
+  static ExecutionPolicy MaxParallel() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return ExecutionPolicy{hw == 0 ? 1u : hw};
+  }
+
+  /// Threads actually worth spawning for `work_items` units of work.
+  unsigned EffectiveThreads(size_t work_items) const {
+    const size_t cap = std::max<size_t>(1, work_items);
+    return static_cast<unsigned>(
+        std::min<size_t>(std::max(1u, num_threads), cap));
+  }
+};
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_EXECUTION_POLICY_H_

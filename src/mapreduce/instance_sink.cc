@@ -16,6 +16,14 @@ InstanceKey MakeInstanceKey(std::span<const std::pair<int, int>> pattern_edges,
   return key;
 }
 
+void BufferingSink::FlushTo(InstanceSink* sink) const {
+  size_t offset = 0;
+  for (const uint32_t size : sizes_) {
+    sink->Emit(std::span<const NodeId>(nodes_.data() + offset, size));
+    offset += size;
+  }
+}
+
 std::vector<InstanceKey> CollectingSink::Keys(
     std::span<const std::pair<int, int>> pattern_edges) const {
   std::vector<InstanceKey> keys;

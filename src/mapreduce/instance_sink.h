@@ -30,16 +30,50 @@ class InstanceSink {
 
   /// `assignment[x]` = data-graph node bound to sample-graph variable x.
   virtual void Emit(std::span<const NodeId> assignment) = 0;
+
+  /// True if this sink ignores assignment contents and emission order (a
+  /// pure counter). The parallel engine then skips buffering assignments in
+  /// per-worker sinks and reports shard totals via EmitCount, keeping sink
+  /// memory O(1) instead of O(total instances).
+  virtual bool CountsOnly() const { return false; }
+
+  /// Bulk emission of `count` instances; only invoked by the engine on
+  /// sinks that return CountsOnly() == true.
+  virtual void EmitCount(uint64_t count) { (void)count; }
 };
 
 /// Counts instances without storing them (benchmark mode).
 class CountingSink : public InstanceSink {
  public:
   void Emit(std::span<const NodeId>) override { ++count_; }
+  bool CountsOnly() const override { return true; }
+  void EmitCount(uint64_t count) override { count_ += count; }
   uint64_t count() const { return count_; }
 
  private:
   uint64_t count_ = 0;
+};
+
+/// Buffers emitted assignments in flat storage for later replay. The
+/// parallel engine hands one BufferingSink to each worker so reducers never
+/// contend on the caller's sink; after the workers join, the buffers are
+/// replayed into the real sink in ascending-key-shard order, reproducing the
+/// serial engine's emission order exactly.
+class BufferingSink : public InstanceSink {
+ public:
+  void Emit(std::span<const NodeId> assignment) override {
+    nodes_.insert(nodes_.end(), assignment.begin(), assignment.end());
+    sizes_.push_back(static_cast<uint32_t>(assignment.size()));
+  }
+
+  uint64_t count() const { return sizes_.size(); }
+
+  /// Replays every buffered assignment, in emission order, into `sink`.
+  void FlushTo(InstanceSink* sink) const;
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<uint32_t> sizes_;
 };
 
 /// Stores every emitted assignment (test mode).

@@ -16,7 +16,8 @@ std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
      << " replication=" << m.ReplicationRate()
      << " reducers_used=" << m.distinct_keys << " key_space=" << m.key_space
      << " max_reducer_input=" << m.max_reducer_input
-     << " reduce_ops=" << m.reduce_cost.Total() << " outputs=" << m.outputs;
+     << " skew=" << m.SkewRatio() << " reduce_ops=" << m.reduce_cost.Total()
+     << " outputs=" << m.outputs;
   return os;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SMR_MAPREDUCE_METRICS_H_
 #define SMR_MAPREDUCE_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -37,6 +38,39 @@ struct MapReduceMetrics {
                : static_cast<double>(key_value_pairs) /
                      static_cast<double>(input_records);
   }
+
+  /// Average reducer input size (key-value pairs per reducer that received
+  /// data).
+  double MeanReducerInput() const {
+    return distinct_keys == 0
+               ? 0.0
+               : static_cast<double>(key_value_pairs) /
+                     static_cast<double>(distinct_keys);
+  }
+
+  /// Skew indicator: max reducer load over mean reducer load (>= 1 when any
+  /// reducer received data). Balanced hashing keeps this near 1; the paper's
+  /// computation-cost analysis (Section 1.2) assumes the max reducer is not
+  /// far from the mean.
+  double SkewRatio() const {
+    const double mean = MeanReducerInput();
+    return mean == 0.0 ? 0.0
+                       : static_cast<double>(max_reducer_input) / mean;
+  }
+
+  /// Folds the reduce-phase counters of one parallel worker shard into this
+  /// metrics object. Shards cover disjoint key ranges, so the per-reducer
+  /// quantities combine by sum (distinct_keys, outputs, reduce_cost) and max
+  /// (max_reducer_input); map-phase counters are left untouched because the
+  /// engine computes them globally before sharding.
+  void MergeReduceShard(const MapReduceMetrics& shard) {
+    distinct_keys += shard.distinct_keys;
+    max_reducer_input = std::max(max_reducer_input, shard.max_reducer_input);
+    outputs += shard.outputs;
+    reduce_cost += shard.reduce_cost;
+  }
+
+  bool operator==(const MapReduceMetrics&) const = default;
 
   std::string ToString() const;
 };

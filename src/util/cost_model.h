@@ -25,6 +25,8 @@ struct CostCounter {
     return edges_scanned + candidates + index_probes + outputs;
   }
 
+  bool operator==(const CostCounter&) const = default;
+
   CostCounter& operator+=(const CostCounter& other) {
     edges_scanned += other.edges_scanned;
     candidates += other.candidates;
