@@ -8,8 +8,10 @@
 #include "cq/cq_evaluator.h"
 #include "cq/cq_generation.h"
 #include "graph/generators.h"
+#include "mapreduce/engine.h"
 #include "serial/triangles.h"
 #include "shares/share_optimizer.h"
+#include "util/hashing.h"
 
 namespace smr {
 namespace {
@@ -71,6 +73,42 @@ void BM_GraphConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphConstruction);
+
+/// Isolates the engine's shuffle: a round with trivial map/reduce work so
+/// that grouping 4M key-value pairs dominates. Arg 0 selects the shuffle
+/// (0 = sort, 1 = partitioned) under ExecutionPolicy::MaxParallel(); on a
+/// multi-core host the gap between the two rows is the cost of the sort
+/// shuffle's serial O(C log C) barrier.
+void BM_EngineShuffle(benchmark::State& state) {
+  const size_t n = 1 << 20;
+  std::vector<int> inputs(n);
+  for (size_t i = 0; i < n; ++i) inputs[i] = static_cast<int>(i);
+  const uint64_t key_space = 1 << 16;
+  auto map_fn = [key_space](const int& value, Emitter<int>* out) {
+    for (int e = 0; e < 4; ++e) {
+      out->Emit(SplitMix64(static_cast<uint64_t>(value) * 4 + e) % key_space,
+                value);
+    }
+  };
+  auto reduce_fn = [](uint64_t, std::span<const int> values,
+                      ReduceContext* context) {
+    context->cost->edges_scanned += values.size();
+  };
+  // At least 2 workers even on a single hardware context, so the parallel
+  // shuffle paths (not the serial fallback) are what gets measured.
+  const ExecutionPolicy policy =
+      ExecutionPolicy::WithThreads(
+          std::max(2u, ExecutionPolicy::MaxParallel().num_threads))
+          .WithShuffle(state.range(0) == 0 ? ShuffleMode::kSort
+                                           : ShuffleMode::kPartitioned);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr,
+                                 key_space, policy)
+            .distinct_keys);
+  }
+}
+BENCHMARK(BM_EngineShuffle)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace smr

@@ -1,9 +1,12 @@
 // Wall-clock comparison of the serial engine against the multi-threaded
-// engine on reducer-heavy workloads (bucket-oriented square and triangle
-// enumeration, multiway-join triangles). Results are identical by
-// construction — the engine's determinism guarantee — so only wall-clock
-// changes. On a single-core host the speedup is ~1x; on an N-core host the
-// reduce phase dominates and the speedup approaches min(N, #reducers).
+// engine's two shuffle implementations on reducer-heavy workloads
+// (bucket-oriented square and triangle enumeration, multiway-join
+// triangles). Results are identical by construction — the engine's
+// determinism guarantee — so only wall-clock changes. On a single-core host
+// every speedup is ~1x; on an N-core host the sort shuffle is capped by its
+// serial O(C log C) global sort, while the partitioned shuffle scatters
+// during the map and sorts P key-range partitions independently, so its
+// speedup approaches min(N, #partitions).
 
 #include <chrono>
 #include <cstdio>
@@ -32,67 +35,68 @@ double TimeMs(const Fn& fn, int repetitions) {
   return best;
 }
 
-void Compare(const char* name, uint64_t serial_outputs,
-             uint64_t parallel_outputs, double serial_ms, double parallel_ms) {
-  std::printf("%-28s serial %8.2f ms | parallel %8.2f ms | speedup %5.2fx%s\n",
-              name, serial_ms, parallel_ms, serial_ms / parallel_ms,
-              serial_outputs == parallel_outputs ? "" : "  MISMATCH — BUG");
+/// Times `run(policy)` under the serial engine and both parallel shuffle
+/// modes, and checks the three output counts agree.
+template <typename Run>
+void Compare(const char* name, const ExecutionPolicy& parallel,
+             const Run& run) {
+  uint64_t serial_out = 0, sort_out = 0, partitioned_out = 0;
+  const double serial_ms =
+      TimeMs([&] { serial_out = run(ExecutionPolicy::Serial()); }, 3);
+  const double sort_ms = TimeMs(
+      [&] { sort_out = run(parallel.WithShuffle(ShuffleMode::kSort)); }, 3);
+  const double partitioned_ms = TimeMs(
+      [&] {
+        partitioned_out = run(parallel.WithShuffle(ShuffleMode::kPartitioned));
+      },
+      3);
+  const bool mismatch =
+      serial_out != sort_out || serial_out != partitioned_out;
+  std::printf(
+      "%-26s serial %8.2f ms | sort-shuffle %8.2f ms (%4.2fx) | "
+      "partitioned %8.2f ms (%4.2fx, %4.2fx vs sort)%s\n",
+      name, serial_ms, sort_ms, serial_ms / sort_ms, partitioned_ms,
+      serial_ms / partitioned_ms, sort_ms / partitioned_ms,
+      mismatch ? "  MISMATCH — BUG" : "");
 }
 
 void Run() {
-  const ExecutionPolicy parallel = ExecutionPolicy::MaxParallel();
-  std::printf("parallel policy: %u thread(s)\n\n", parallel.num_threads);
+  ExecutionPolicy parallel = ExecutionPolicy::MaxParallel();
+  if (parallel.num_threads < 2) {
+    // A 1-thread policy would take the serial engine path and measure
+    // nothing; force 2 workers so the parallel shuffles are what runs
+    // (on a single core the speedups then mostly reflect overhead).
+    parallel = ExecutionPolicy::WithThreads(2);
+    std::printf("single hardware context: forcing 2 worker threads\n");
+  }
+  std::printf("parallel policy: %u thread(s), %u partitions\n\n",
+              parallel.num_threads, parallel.EffectivePartitions());
 
   {
     const Graph g = ErdosRenyi(4000, 40000, 11);
     const SubgraphEnumerator square(SampleGraph::Square());
-    uint64_t serial_out = 0, parallel_out = 0;
-    const double serial_ms = TimeMs(
-        [&] { serial_out = square.RunBucketOriented(g, 4, 1, nullptr).outputs; },
-        3);
-    const double parallel_ms = TimeMs(
-        [&] {
-          parallel_out =
-              square.RunBucketOriented(g, 4, 1, nullptr, parallel).outputs;
-        },
-        3);
-    Compare("bucket-oriented square", serial_out, parallel_out, serial_ms,
-            parallel_ms);
+    Compare("bucket-oriented square", parallel,
+            [&](const ExecutionPolicy& policy) {
+              return square.RunBucketOriented(g, 4, 1, nullptr, policy).outputs;
+            });
   }
 
   {
     const Graph g = ErdosRenyi(3000, 36000, 7);
     const SubgraphEnumerator triangle(SampleGraph::Triangle());
-    uint64_t serial_out = 0, parallel_out = 0;
-    const double serial_ms = TimeMs(
-        [&] {
-          serial_out = triangle.RunBucketOriented(g, 10, 3, nullptr).outputs;
-        },
-        3);
-    const double parallel_ms = TimeMs(
-        [&] {
-          parallel_out =
-              triangle.RunBucketOriented(g, 10, 3, nullptr, parallel).outputs;
-        },
-        3);
-    Compare("bucket-oriented triangle", serial_out, parallel_out, serial_ms,
-            parallel_ms);
+    Compare("bucket-oriented triangle", parallel,
+            [&](const ExecutionPolicy& policy) {
+              return triangle.RunBucketOriented(g, 10, 3, nullptr, policy)
+                  .outputs;
+            });
   }
 
   {
     const Graph g = ErdosRenyi(3000, 36000, 7);
-    uint64_t serial_out = 0, parallel_out = 0;
-    const double serial_ms = TimeMs(
-        [&] { serial_out = MultiwayJoinTriangles(g, 6, 3, nullptr).outputs; },
-        3);
-    const double parallel_ms = TimeMs(
-        [&] {
-          parallel_out =
-              MultiwayJoinTriangles(g, 6, 3, nullptr, parallel).outputs;
-        },
-        3);
-    Compare("multiway-join triangles", serial_out, parallel_out, serial_ms,
-            parallel_ms);
+    Compare("multiway-join triangles", parallel,
+            [&](const ExecutionPolicy& policy) {
+              return MultiwayJoinTriangles(g, 6, 3, nullptr, policy).outputs;
+            });
   }
 }
 

@@ -14,6 +14,9 @@
 //   --strategy  bucket:<b> (default bucket:8) | variable:<k> | serial
 //   --threads   engine worker threads (0 = one per hardware context;
 //               default 1). Results are identical for every value.
+//   --shuffle   partition[:P] (default; P = partition count, default auto)
+//               | sort (the single-global-sort reference shuffle).
+//               Results are identical for every mode and partition count.
 //   --stats     print graph statistics first
 //   --print N   print the first N instances found
 //
@@ -98,6 +101,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> pattern_spec;
   std::optional<std::string> input_spec;
   std::string strategy = "bucket:8";
+  std::string shuffle = "partition";
   uint64_t seed = 1;
   int threads = 1;
   bool stats = false;
@@ -123,6 +127,8 @@ int main(int argc, char** argv) {
       if (end == value.c_str() || *end != '\0' || threads < 0) {
         Usage("--threads needs a nonnegative integer (0 = max parallel)");
       }
+    } else if (arg == "--shuffle") {
+      shuffle = next();
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
@@ -151,10 +157,23 @@ int main(int argc, char** argv) {
       print_limit > 0 ? static_cast<smr::InstanceSink*>(&collecting)
                       : static_cast<smr::InstanceSink*>(&counting);
 
-  const smr::ExecutionPolicy policy =
+  smr::ExecutionPolicy policy =
       threads == 0 ? smr::ExecutionPolicy::MaxParallel()
                    : smr::ExecutionPolicy::WithThreads(
                          static_cast<unsigned>(std::max(1, threads)));
+  const auto shuffle_parts = SplitColons(shuffle);
+  if (shuffle_parts[0] == "sort") {
+    policy = policy.WithShuffle(smr::ShuffleMode::kSort);
+  } else if (shuffle_parts[0] == "partition") {
+    policy = policy.WithShuffle(smr::ShuffleMode::kPartitioned);
+    if (shuffle_parts.size() > 1) {
+      const int partitions = std::atoi(shuffle_parts[1].c_str());
+      if (partitions < 1) Usage("--shuffle partition:P needs P >= 1");
+      policy = policy.WithPartitions(static_cast<unsigned>(partitions));
+    }
+  } else {
+    Usage("--shuffle must be sort or partition[:P]");
+  }
 
   const auto strategy_parts = SplitColons(strategy);
   if (policy.num_threads > 1) {
@@ -162,7 +181,13 @@ int main(int argc, char** argv) {
     if (strategy_parts[0] == "serial") {
       std::printf("engine:  --threads ignored by the serial strategy\n");
     } else {
-      std::printf("engine:  %u worker threads\n", policy.num_threads);
+      std::printf(
+          "engine:  %u worker threads, %s shuffle (%u partitions)\n",
+          policy.num_threads,
+          policy.shuffle == smr::ShuffleMode::kSort ? "sort" : "partitioned",
+          policy.shuffle == smr::ShuffleMode::kSort
+              ? 0u
+              : policy.EffectivePartitions());
     }
   }
   uint64_t found = 0;

@@ -15,20 +15,14 @@ namespace smr {
 
 namespace {
 
-uint64_t PackDigits(const std::vector<int>& digits, int base) {
-  uint64_t key = 0;
-  for (int d : digits) key = key * base + static_cast<uint64_t>(d);
-  return key;
-}
-
-std::vector<int> UnpackDigits(uint64_t key, int base, int count) {
-  std::vector<int> digits(count);
-  for (int i = count - 1; i >= 0; --i) {
-    digits[i] = static_cast<int>(key % base);
-    key /= base;
-  }
-  return digits;
-}
+// Reducer keys are combinatorial ranks (RankNondecreasing / RankSubset),
+// not base-b positional packings: ranks are dense in [0, key_space), which
+// the engine's partitioned shuffle needs for balanced key-range splits, and
+// they cannot overflow a uint64_t while the key space itself fits — the old
+// packing wrapped once b^p > 2^64 (e.g. b=64, p=11) and silently fused
+// distinct reducers, corrupting counts. Both encodings order reducers
+// identically (lexicographically in the sorted bucket sequence), so metrics
+// and emission order are unchanged where the old packing was correct.
 
 /// Sink wrapper used inside reducers: translates local node ids to global,
 /// optionally filters by a predicate, and forwards to the reducer context.
@@ -65,6 +59,11 @@ MapReduceMetrics BucketOrientedEnumerate(
     const ExecutionPolicy& policy) {
   const int p = pattern.num_vars();
   if (buckets < 1 || p < 2) throw std::invalid_argument("bad parameters");
+  if (!BinomialFitsUint64(buckets + p - 1, p)) {
+    throw std::invalid_argument(
+        "bucket-oriented reducer key space C(b+p-1, p) exceeds 64 bits; "
+        "reduce the bucket count b or the pattern size p");
+  }
   const BucketHasher hasher(buckets, seed);
   const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
   const uint64_t key_space = Binomial(buckets + p - 1, p);
@@ -83,13 +82,13 @@ MapReduceMetrics BucketOrientedEnumerate(
       multiset.push_back(i);
       multiset.push_back(j);
       std::sort(multiset.begin(), multiset.end());
-      out->Emit(PackDigits(multiset, buckets), oriented);
+      out->Emit(RankNondecreasing(multiset, buckets), oriented);
     }
   };
 
   auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
                        ReduceContext* context) {
-    const std::vector<int> own = UnpackDigits(key, buckets, p);
+    const std::vector<int> own = UnrankNondecreasing(key, buckets, p);
     const Subgraph local = BuildSubgraph(values);
     context->cost->edges_scanned += values.size();
     const NodeOrder local_order =
@@ -123,41 +122,31 @@ MapReduceMetrics GeneralizedPartitionEnumerate(
   if (p < 3 || b < p) {
     throw std::invalid_argument("generalized Partition needs b >= p >= 3");
   }
+  if (!BinomialFitsUint64(b, p)) {
+    throw std::invalid_argument(
+        "generalized-Partition reducer key space C(b, p) exceeds 64 bits; "
+        "reduce the group count b or the pattern size p");
+  }
   const BucketHasher hasher(b, seed);
   const uint64_t key_space = Binomial(b, p);
 
-  // Enumerates all strictly increasing p-subsets of groups that contain the
-  // required group(s) and emits the edge to each.
+  // Sends the edge to every p-subset of groups containing its (one or two)
+  // groups, extending only subsets of the remaining groups around them.
   auto map_fn = [&](const Edge& edge, Emitter<Edge>* out) {
     int i = hasher.Bucket(edge.first);
     int j = hasher.Bucket(edge.second);
     if (i > j) std::swap(i, j);
     std::vector<int> required = {i};
     if (j != i) required.push_back(j);
-    std::vector<int> subset;
-    std::function<void(int)> recurse = [&](int next) {
-      if (static_cast<int>(subset.size()) == p) {
-        bool ok = true;
-        for (int r : required) {
-          if (!std::binary_search(subset.begin(), subset.end(), r)) ok = false;
-        }
-        if (ok) out->Emit(PackDigits(subset, b), edge);
-        return;
-      }
-      if (next >= b) return;
-      // Prune: not enough groups left to finish the subset.
-      if (b - next < p - static_cast<int>(subset.size())) return;
-      subset.push_back(next);
-      recurse(next + 1);
-      subset.pop_back();
-      recurse(next + 1);
-    };
-    recurse(0);
+    ForEachGroupSubsetContaining(
+        b, p, required, [&](const std::vector<int>& subset) {
+          out->Emit(RankSubset(subset, b), edge);
+        });
   };
 
   auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
                        ReduceContext* context) {
-    const std::vector<int> own = UnpackDigits(key, b, p);
+    const std::vector<int> own = UnrankSubset(key, b, p);
     const Subgraph local = BuildSubgraph(values);
     context->cost->edges_scanned += values.size();
     const NodeOrder local_order = NodeOrder::Identity(local.graph.num_nodes());
@@ -191,6 +180,34 @@ MapReduceMetrics GeneralizedPartitionEnumerate(
 
   return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
                                     key_space, policy);
+}
+
+void ForEachGroupSubsetContaining(
+    int b, int p, std::span<const int> required,
+    const std::function<void(const std::vector<int>&)>& fn) {
+  // Depth-first over candidate groups in ascending order, include-branch
+  // first, with required groups forced in — so the subsets arrive in the
+  // same lexicographic order the old enumerate-everything mapper produced,
+  // but only C(b-|required|, p-|required|) leaves are ever visited.
+  std::vector<int> subset;
+  subset.reserve(p);
+  std::function<void(int, size_t)> recurse = [&](int next, size_t req_i) {
+    const int need = p - static_cast<int>(subset.size());
+    const int required_left = static_cast<int>(required.size() - req_i);
+    if (need == 0) {
+      if (required_left == 0) fn(subset);
+      return;
+    }
+    // Prune: not enough groups left, or too few slots for the required.
+    if (b - next < need || required_left > need) return;
+    const bool is_required =
+        req_i < required.size() && required[req_i] == next;
+    subset.push_back(next);
+    recurse(next + 1, req_i + (is_required ? 1 : 0));
+    subset.pop_back();
+    if (!is_required) recurse(next + 1, req_i);
+  };
+  recurse(0, 0);
 }
 
 }  // namespace smr

@@ -2,7 +2,9 @@
 #define SMR_CORE_BUCKET_ORIENTED_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "cq/conjunctive_query.h"
 #include "graph/graph.h"
@@ -40,6 +42,17 @@ MapReduceMetrics GeneralizedPartitionEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
     const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+
+/// Calls `fn` once for every strictly increasing p-subset of [0, b) that
+/// contains all of `required` (sorted, distinct), in lexicographic order.
+/// This is the generalized-Partition mapper's destination set: extending
+/// only subsets of the b-|required| non-required groups, it does
+/// C(b-|required|, p-|required|) work — the old mapper enumerated all
+/// C(b, p) subsets and filtered, which dwarfs the useful emissions as soon
+/// as b grows past p. Exposed for the equivalence regression test.
+void ForEachGroupSubsetContaining(
+    int b, int p, std::span<const int> required,
+    const std::function<void(const std::vector<int>&)>& fn);
 
 }  // namespace smr
 

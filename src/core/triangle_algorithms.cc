@@ -21,12 +21,32 @@ uint64_t PackTriple(int a, int b, int c, int base) {
   return (static_cast<uint64_t>(a) * base + b) * base + c;
 }
 
-std::array<int, 3> UnpackTriple(uint64_t key, int base) {
-  const int c = static_cast<int>(key % base);
-  key /= base;
-  const int b = static_cast<int>(key % base);
-  const int a = static_cast<int>(key / base);
-  return {a, b, c};
+// OrderedBucketTriangles and PartitionTriangles key their reducers by the
+// combinatorial rank of the (sorted) bucket triple instead of PackTriple:
+// their declared key spaces are C(b+2, 3) and C(b, 3), and base-b packing
+// is sparse in those ranges — under the engine's partitioned shuffle almost
+// every packed key would land beyond the declared space and collapse into
+// the last partition, serializing the reduce. Ranks are dense and order
+// reducers identically (lexicographically in the triple), so metrics and
+// emission order are unchanged. MultiwayJoinTriangles keeps PackTriple: its
+// key space *is* b^3 and the packing is already a dense bijection.
+
+uint64_t RankTriple(const std::array<int, 3>& triple, int base) {
+  return RankNondecreasing3(triple[0], triple[1], triple[2], base);
+}
+
+std::array<int, 3> UnrankTriple(uint64_t key, int base) {
+  const std::vector<int> seq = UnrankNondecreasing(key, base, 3);
+  return {seq[0], seq[1], seq[2]};
+}
+
+uint64_t RankStrictTriple(const std::array<int, 3>& triple, int base) {
+  return RankSubset3(triple[0], triple[1], triple[2], base);
+}
+
+std::array<int, 3> UnrankStrictTriple(uint64_t key, int base) {
+  const std::vector<int> seq = UnrankSubset(key, base, 3);
+  return {seq[0], seq[1], seq[2]};
 }
 
 /// Value shipped by the multiway-join mapper: the edge plus the roles
@@ -110,14 +130,13 @@ MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
     for (int w = 0; w < buckets; ++w) {
       std::array<int, 3> triple = {i, j, w};
       std::sort(triple.begin(), triple.end());
-      out->Emit(PackTriple(triple[0], triple[1], triple[2], buckets),
-                oriented);
+      out->Emit(RankTriple(triple, buckets), oriented);
     }
   };
 
   auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
                        ReduceContext* context) {
-    const std::array<int, 3> triple = UnpackTriple(key, buckets);
+    const std::array<int, 3> triple = UnrankTriple(key, buckets);
     const Subgraph local = BuildSubgraph(values);
     context->cost->edges_scanned += values.size();
     const NodeOrder local_order =
@@ -165,7 +184,7 @@ MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
           if (y == i) continue;
           std::array<int, 3> triple = {i, x, y};
           std::sort(triple.begin(), triple.end());
-          out->Emit(PackTriple(triple[0], triple[1], triple[2], b), edge);
+          out->Emit(RankStrictTriple(triple, b), edge);
         }
       }
     } else {
@@ -173,14 +192,14 @@ MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
         if (w == i || w == j) continue;
         std::array<int, 3> triple = {i, j, w};
         std::sort(triple.begin(), triple.end());
-        out->Emit(PackTriple(triple[0], triple[1], triple[2], b), edge);
+        out->Emit(RankStrictTriple(triple, b), edge);
       }
     }
   };
 
   auto reduce_fn = [&](uint64_t key, std::span<const Edge> values,
                        ReduceContext* context) {
-    const std::array<int, 3> own = UnpackTriple(key, b);
+    const std::array<int, 3> own = UnrankStrictTriple(key, b);
     const Subgraph local = BuildSubgraph(values);
     context->cost->edges_scanned += values.size();
     const NodeOrder local_order = NodeOrder::Identity(local.graph.num_nodes());

@@ -4,14 +4,17 @@
 #include <vector>
 
 #include "mapreduce/engine.h"
-#include "util/hashing.h"
 
 namespace smr {
 
 namespace {
 
 /// Round-2 record: either a 2-path u - mid - w (kind 0) or a closing edge
-/// {u, w} (kind 1). Keyed by PackPair(u, w) with u < w by order rank.
+/// {u, w} (kind 1). Keyed by u * n + w with u < w by order rank — dense in
+/// the declared key space n^2, which the engine's partitioned shuffle
+/// splits into key ranges (the old PackPair key, u * 2^32 + w, put nearly
+/// every key beyond n^2 and would have collapsed the shuffle into its last
+/// partition).
 struct PathOrEdge {
   NodeId mid = 0;
   uint8_t is_edge = 0;
@@ -69,13 +72,15 @@ TwoRoundMetrics TwoRoundTriangles(const Graph& graph, const NodeOrder& order,
     inputs.push_back({oriented.first, oriented.second, 0, 1});
   }
 
-  auto map2 = [&](const Round2Input& input, Emitter<PathOrEdge>* out) {
-    out->Emit(PackPair(input.u, input.w), PathOrEdge{input.mid, input.is_edge});
+  const uint64_t n = graph.num_nodes();
+  auto map2 = [&, n](const Round2Input& input, Emitter<PathOrEdge>* out) {
+    out->Emit(static_cast<uint64_t>(input.u) * n + input.w,
+              PathOrEdge{input.mid, input.is_edge});
   };
-  auto reduce2 = [&](uint64_t key, std::span<const PathOrEdge> values,
-                     ReduceContext* context) {
-    const NodeId u = static_cast<NodeId>(key >> 32);
-    const NodeId w = static_cast<NodeId>(key & 0xffffffffu);
+  auto reduce2 = [&, n](uint64_t key, std::span<const PathOrEdge> values,
+                        ReduceContext* context) {
+    const NodeId u = static_cast<NodeId>(key / n);
+    const NodeId w = static_cast<NodeId>(key % n);
     bool closing_edge = false;
     for (const PathOrEdge& value : values) {
       ++context->cost->edges_scanned;
@@ -90,9 +95,9 @@ TwoRoundMetrics TwoRoundTriangles(const Graph& graph, const NodeOrder& order,
       context->EmitInstance(assignment);
     }
   };
-  result.round2 = RunSingleRound<Round2Input, PathOrEdge>(
-      inputs, map2, reduce2, sink,
-      static_cast<uint64_t>(graph.num_nodes()) * graph.num_nodes(), policy);
+  result.round2 =
+      RunSingleRound<Round2Input, PathOrEdge>(inputs, map2, reduce2, sink,
+                                              n * n, policy);
   return result;
 }
 

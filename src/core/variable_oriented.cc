@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <numeric>
@@ -52,8 +53,18 @@ MapReduceMetrics VariableOrientedEnumerate(
   for (int x = 0; x < p; ++x) {
     hashers.emplace_back(shares[x], SplitMix64(seed + 0x9e37 * (x + 1)));
   }
+  // Mixed-radix keys are dense in the product of the shares; the product
+  // must fit 64 bits or keys from different bucket combinations would wrap
+  // onto each other.
   uint64_t key_space = 1;
-  for (int s : shares) key_space *= static_cast<uint64_t>(s);
+  for (int s : shares) {
+    if (key_space > UINT64_MAX / static_cast<uint64_t>(s)) {
+      throw std::invalid_argument(
+          "variable-oriented reducer key space (product of shares) exceeds "
+          "64 bits");
+    }
+    key_space *= static_cast<uint64_t>(s);
+  }
 
   // Slots = undirected pattern edges; orientations used across the CQ set.
   const auto& slots = pattern.edges();

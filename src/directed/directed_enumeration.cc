@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <stdexcept>
 
 #include "mapreduce/engine.h"
 #include "util/combinatorics.h"
@@ -123,21 +124,6 @@ uint64_t MatchDirected(const DirectedSampleGraph& pattern,
   return found;
 }
 
-uint64_t PackDigits(const std::vector<int>& digits, int base) {
-  uint64_t key = 0;
-  for (int d : digits) key = key * base + static_cast<uint64_t>(d);
-  return key;
-}
-
-std::vector<int> UnpackDigits(uint64_t key, int base, int count) {
-  std::vector<int> digits(count);
-  for (int i = count - 1; i >= 0; --i) {
-    digits[i] = static_cast<int>(key % base);
-    key /= base;
-  }
-  return digits;
-}
-
 }  // namespace
 
 uint64_t EnumerateDirectedInstances(const DirectedSampleGraph& pattern,
@@ -155,6 +141,11 @@ MapReduceMetrics DirectedBucketOrientedEnumerate(
   // synchronized.
   pattern.Automorphisms();
   const int p = pattern.num_vars();
+  if (!BinomialFitsUint64(buckets + p - 1, p)) {
+    throw std::invalid_argument(
+        "directed bucket-oriented reducer key space C(b+p-1, p) exceeds 64 "
+        "bits; reduce the bucket count b or the pattern size p");
+  }
   const BucketHasher hasher(buckets, seed);
   const uint64_t key_space = Binomial(buckets + p - 1, p);
   const std::vector<std::vector<int>> paddings =
@@ -169,13 +160,15 @@ MapReduceMetrics DirectedBucketOrientedEnumerate(
       multiset.push_back(std::min(i, j));
       multiset.push_back(std::max(i, j));
       std::sort(multiset.begin(), multiset.end());
-      out->Emit(PackDigits(multiset, buckets), arc);
+      // Multiset rank: dense in C(b+p-1, p) for the partitioned shuffle's
+      // key-range split, and immune to the base-b packing's uint64_t wrap.
+      out->Emit(RankNondecreasing(multiset, buckets), arc);
     }
   };
 
   auto reduce_fn = [&](uint64_t key, std::span<const Arc> values,
                        ReduceContext* context) {
-    const std::vector<int> own = UnpackDigits(key, buckets, p);
+    const std::vector<int> own = UnrankNondecreasing(key, buckets, p);
     // Relabel the local arcs densely.
     std::vector<NodeId> nodes;
     nodes.reserve(values.size() * 2);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <stdexcept>
 
 #include "cq/cq_evaluator.h"
 #include "graph/node_order.h"
@@ -145,29 +146,20 @@ uint64_t EnumerateLabeledInstances(const LabeledSampleGraph& pattern,
   return found;
 }
 
-namespace {
-
-uint64_t PackDigits(const std::vector<int>& digits, int base) {
-  uint64_t key = 0;
-  for (int d : digits) key = key * base + static_cast<uint64_t>(d);
-  return key;
-}
-
-std::vector<int> UnpackDigits(uint64_t key, int base, int count) {
-  std::vector<int> digits(count);
-  for (int i = count - 1; i >= 0; --i) {
-    digits[i] = static_cast<int>(key % base);
-    key /= base;
-  }
-  return digits;
-}
-
-}  // namespace
+// Reducer keys are combinatorial multiset ranks (RankNondecreasing): dense
+// in the declared key space C(b+p-1, p) — which the engine's partitioned
+// shuffle needs for balanced key ranges — and free of the uint64_t wrap
+// that base-b positional packing hits once b^p > 2^64.
 
 MapReduceMetrics LabeledBucketOrientedEnumerate(
     const LabeledSampleGraph& pattern, const LabeledGraph& graph, int buckets,
     uint64_t seed, InstanceSink* sink, const ExecutionPolicy& policy) {
   const int p = pattern.num_vars();
+  if (!BinomialFitsUint64(buckets + p - 1, p)) {
+    throw std::invalid_argument(
+        "labeled bucket-oriented reducer key space C(b+p-1, p) exceeds 64 "
+        "bits; reduce the bucket count b or the pattern size p");
+  }
   const BucketHasher hasher(buckets, seed);
   const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
   const uint64_t key_space = Binomial(buckets + p - 1, p);
@@ -185,14 +177,14 @@ MapReduceMetrics LabeledBucketOrientedEnumerate(
       multiset.push_back(i);
       multiset.push_back(j);
       std::sort(multiset.begin(), multiset.end());
-      out->Emit(PackDigits(multiset, buckets),
+      out->Emit(RankNondecreasing(multiset, buckets),
                 LabeledEdge{oriented.first, oriented.second, edge.label});
     }
   };
 
   auto reduce_fn = [&](uint64_t key, std::span<const LabeledEdge> values,
                        ReduceContext* context) {
-    const std::vector<int> own = UnpackDigits(key, buckets, p);
+    const std::vector<int> own = UnrankNondecreasing(key, buckets, p);
     std::vector<Edge> skeleton_edges;
     skeleton_edges.reserve(values.size());
     for (const auto& e : values) skeleton_edges.emplace_back(e.u, e.v);

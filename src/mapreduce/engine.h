@@ -2,6 +2,7 @@
 #define SMR_MAPREDUCE_ENGINE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -25,28 +26,95 @@ namespace smr {
 /// cost), distinct keys (reducers), skew, and the reducers' instrumented
 /// computation cost.
 ///
-/// The shuffle is sort-based and fully deterministic: values arrive at each
+/// The shuffle is fully deterministic in both modes: values arrive at each
 /// reducer in mapper emission order, reducers run in ascending key order.
+///
+///  * ShuffleMode::kSort (the original engine): all emissions are
+///    concatenated into one vector and grouped by a single global stable
+///    sort — a serial O(C log C) barrier between the phases.
+///  * ShuffleMode::kPartitioned: each map worker scatters its emissions
+///    into P per-worker key-range buckets (partition = the key's position
+///    in [0, key_space), falling back to the key's high bits when
+///    key_space is 0). Each partition is then independently concatenated
+///    in worker order, stable-sorted, and reduced, with partitions drained
+///    from a dynamic queue. Concatenating a partition's per-worker buckets
+///    in worker order reproduces the serial emission order within the
+///    partition, and partitions cover ascending disjoint key ranges, so
+///    merging the per-partition results in partition order replays the
+///    serial round exactly — with no global barrier vector and no serial
+///    sort.
 ///
 /// With an ExecutionPolicy of more than one thread, mappers run on
 /// contiguous input slices and reducers on contiguous key ranges, each
 /// worker collecting into private buffers that are merged in slice/range
 /// order afterwards — so metrics and sink emissions are byte-identical to
-/// the serial engine for every thread count. Map and reduce callbacks must
-/// therefore be re-entrant: they may mutate only their own locals and the
-/// ReduceContext/Emitter they are handed, never shared captured state.
+/// the serial engine for every thread count, shuffle mode, and partition
+/// count. Map and reduce callbacks must therefore be re-entrant: they may
+/// mutate only their own locals and the ReduceContext/Emitter they are
+/// handed, never shared captured state.
 
-/// Collects the key-value pairs emitted by a mapper.
+/// Routes a key to one of `partitions` contiguous, ascending key ranges.
+/// The mapping is monotone nondecreasing in the key — the invariant the
+/// partitioned shuffle's ordered replay rests on. When the round declared a
+/// key space, ranges are proportional slices of [0, key_space) (strategies
+/// keep their keys dense in the declared space precisely so this balances);
+/// keys at or above the declared space land in the last partition, which
+/// keeps the map monotone for strategies that under-declare. With no
+/// declared key space the high bits of the key decide (radix partitioning
+/// over the full 64-bit range).
+class KeyPartitioner {
+ public:
+  KeyPartitioner(unsigned partitions, uint64_t key_space)
+      : partitions_(partitions), key_space_(key_space) {}
+
+  unsigned PartitionOf(uint64_t key) const {
+    if (partitions_ <= 1) return 0;
+    if (key_space_ > 0) {
+      // Clamp in 128 bits: a key far above the declared space can push the
+      // quotient past 2^32, and narrowing first would wrap it back into a
+      // low partition — sending the largest keys below the smallest and
+      // breaking the monotonicity the ordered replay rests on.
+      const unsigned __int128 partition =
+          static_cast<unsigned __int128>(key) * partitions_ / key_space_;
+      return partition < partitions_ ? static_cast<unsigned>(partition)
+                                     : partitions_ - 1;
+    }
+    return static_cast<unsigned>(
+        (static_cast<unsigned __int128>(key) * partitions_) >> 64);
+  }
+
+  unsigned partitions() const { return partitions_; }
+
+ private:
+  unsigned partitions_;
+  uint64_t key_space_;
+};
+
+/// Collects the key-value pairs emitted by a mapper: either into one flat
+/// vector (serial / sort shuffle) or scattered across one bucket per
+/// destination partition (partitioned shuffle).
 template <typename Value>
 class Emitter {
  public:
   explicit Emitter(std::vector<std::pair<uint64_t, Value>>* out)
       : out_(out) {}
 
-  void Emit(uint64_t key, const Value& value) { out_->emplace_back(key, value); }
+  Emitter(std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets,
+          const KeyPartitioner* partitioner)
+      : buckets_(buckets), partitioner_(partitioner) {}
+
+  void Emit(uint64_t key, const Value& value) {
+    if (out_ != nullptr) {
+      out_->emplace_back(key, value);
+    } else {
+      (*buckets_)[partitioner_->PartitionOf(key)].emplace_back(key, value);
+    }
+  }
 
  private:
-  std::vector<std::pair<uint64_t, Value>>* out_;
+  std::vector<std::pair<uint64_t, Value>>* out_ = nullptr;
+  std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets_ = nullptr;
+  const KeyPartitioner* partitioner_ = nullptr;
 };
 
 /// Per-reducer context: instrumented cost and the output sink.
@@ -93,12 +161,15 @@ void ReduceRange(
 }
 
 /// Splits [0, size) into at most `parts` contiguous slices of near-equal
-/// length; returns the slice boundaries (parts+1 entries).
+/// length; returns the slice boundaries (parts+1 entries). The product is
+/// taken in 128 bits: `size * t` in size_t arithmetic wraps once
+/// size > SIZE_MAX / parts and would scramble the boundaries.
 inline std::vector<size_t> SliceBoundaries(size_t size, unsigned parts) {
   std::vector<size_t> bounds;
   bounds.reserve(parts + 1);
   for (unsigned t = 0; t <= parts; ++t) {
-    bounds.push_back(size * t / parts);
+    bounds.push_back(static_cast<size_t>(
+        static_cast<unsigned __int128>(size) * t / parts));
   }
   return bounds;
 }
@@ -141,9 +212,12 @@ void RunWorkers(size_t count, const Task& task) {
 
 /// Runs one round. `map_fn` is applied to every input and emits key-value
 /// pairs; `reduce_fn` is invoked once per distinct key with all its values.
-/// `key_space` is the size of the reducer id space the algorithm declared
-/// (purely informational, copied into the metrics). `policy` selects the
-/// host-side scheduling; results are identical for every thread count.
+/// `key_space` is the size of the reducer id space the algorithm declared;
+/// besides being copied into the metrics it steers the partitioned
+/// shuffle's key-range split, so strategies should declare it accurately
+/// (or pass 0 to get radix partitioning over the raw 64-bit keys).
+/// `policy` selects the host-side scheduling; results are identical for
+/// every thread count, shuffle mode, and partition count.
 template <typename Input, typename Value>
 MapReduceMetrics RunSingleRound(
     std::span<const Input> inputs,
@@ -152,89 +226,172 @@ MapReduceMetrics RunSingleRound(
                              ReduceContext*)>& reduce_fn,
     InstanceSink* sink, uint64_t key_space,
     const ExecutionPolicy& policy = ExecutionPolicy::Serial()) {
+  using Pair = std::pair<uint64_t, Value>;
   MapReduceMetrics metrics;
   metrics.input_records = inputs.size();
   metrics.key_space = key_space;
 
   const unsigned map_threads = policy.EffectiveThreads(inputs.size());
 
-  // Map phase. Each worker maps a contiguous input slice into a private
-  // pair vector; concatenating the slices in order reproduces the serial
-  // emission order exactly.
-  std::vector<std::pair<uint64_t, Value>> pairs;
-  if (map_threads <= 1) {
-    Emitter<Value> emitter(&pairs);
-    for (const Input& input : inputs) {
-      map_fn(input, &emitter);
-    }
-  } else {
-    const std::vector<size_t> bounds =
-        engine_internal::SliceBoundaries(inputs.size(), map_threads);
-    std::vector<std::vector<std::pair<uint64_t, Value>>> slices(map_threads);
-    engine_internal::RunWorkers(map_threads, [&](size_t t) {
-      Emitter<Value> emitter(&slices[t]);
-      for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-        map_fn(inputs[i], &emitter);
+  // ---------------------------------------------------------------- sort
+  // Sort shuffle (and every single-threaded round — the reference
+  // implementation the parallel paths are checked against).
+  if (policy.num_threads <= 1 || policy.shuffle == ShuffleMode::kSort) {
+    // Map phase. Each worker maps a contiguous input slice into a private
+    // pair vector; concatenating the slices in order reproduces the serial
+    // emission order exactly.
+    std::vector<Pair> pairs;
+    if (map_threads <= 1) {
+      Emitter<Value> emitter(&pairs);
+      for (const Input& input : inputs) {
+        map_fn(input, &emitter);
       }
-    });
-    size_t total = 0;
-    for (const auto& slice : slices) total += slice.size();
-    pairs.reserve(total);
-    for (auto& slice : slices) {
-      std::move(slice.begin(), slice.end(), std::back_inserter(pairs));
+    } else {
+      const std::vector<size_t> bounds =
+          engine_internal::SliceBoundaries(inputs.size(), map_threads);
+      std::vector<std::vector<Pair>> slices(map_threads);
+      engine_internal::RunWorkers(map_threads, [&](size_t t) {
+        Emitter<Value> emitter(&slices[t]);
+        for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+          map_fn(inputs[i], &emitter);
+        }
+      });
+      size_t total = 0;
+      for (const auto& slice : slices) total += slice.size();
+      pairs.reserve(total);
+      for (auto& slice : slices) {
+        std::move(slice.begin(), slice.end(), std::back_inserter(pairs));
+      }
     }
-  }
-  metrics.key_value_pairs = pairs.size();
-  metrics.bytes = pairs.size() * (sizeof(uint64_t) + sizeof(Value));
+    metrics.key_value_pairs = pairs.size();
+    metrics.bytes = pairs.size() * (sizeof(uint64_t) + sizeof(Value));
+    metrics.shuffle.shuffle_bytes = metrics.bytes;
 
-  // Shuffle: group by key, preserving emission order within a key.
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Shuffle: group by key, preserving emission order within a key.
+    std::stable_sort(
+        pairs.begin(), pairs.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  // Reduce phase.
-  const unsigned reduce_threads = policy.EffectiveThreads(pairs.size());
-  if (reduce_threads <= 1) {
-    engine_internal::ReduceRange(pairs, 0, pairs.size(), reduce_fn, sink,
-                                 &metrics);
+    // Reduce phase.
+    const unsigned reduce_threads = policy.EffectiveThreads(pairs.size());
+    if (reduce_threads <= 1) {
+      engine_internal::ReduceRange(pairs, 0, pairs.size(), reduce_fn, sink,
+                                   &metrics);
+      return metrics;
+    }
+
+    // Partition the sorted pairs into contiguous chunks aligned to key
+    // boundaries, balanced by pair count. Chunk t covers a key range
+    // strictly below chunk t+1's, so replaying shard outputs in chunk order
+    // restores the serial ascending-key emission order.
+    std::vector<size_t> starts;
+    starts.reserve(reduce_threads);
+    const size_t target = (pairs.size() + reduce_threads - 1) / reduce_threads;
+    size_t pos = 0;
+    while (pos < pairs.size()) {
+      starts.push_back(pos);
+      size_t next = std::min(pos + target, pairs.size());
+      while (next < pairs.size() &&
+             pairs[next].first == pairs[next - 1].first) {
+        ++next;
+      }
+      pos = next;
+    }
+    starts.push_back(pairs.size());
+
+    const size_t chunks = starts.size() - 1;
+    // Counting sinks don't need their emissions buffered and replayed — the
+    // shard output totals suffice — so workers run sink-less and the counts
+    // are folded in afterwards.
+    const bool counts_only = sink != nullptr && sink->CountsOnly();
+    const bool buffered = sink != nullptr && !counts_only;
+    std::vector<MapReduceMetrics> shard_metrics(chunks);
+    std::vector<BufferingSink> shard_sinks(buffered ? chunks : 0);
+    engine_internal::RunWorkers(chunks, [&](size_t c) {
+      engine_internal::ReduceRange(
+          pairs, starts[c], starts[c + 1], reduce_fn,
+          buffered ? static_cast<InstanceSink*>(&shard_sinks[c]) : nullptr,
+          &shard_metrics[c]);
+    });
+
+    for (size_t c = 0; c < chunks; ++c) {
+      metrics.MergeReduceShard(shard_metrics[c]);
+      if (buffered) shard_sinks[c].FlushTo(sink);
+    }
+    if (counts_only) sink->EmitCount(metrics.outputs);
     return metrics;
   }
 
-  // Partition the sorted pairs into contiguous chunks aligned to key
-  // boundaries, balanced by pair count. Chunk t covers a key range strictly
-  // below chunk t+1's, so replaying shard outputs in chunk order restores
-  // the serial ascending-key emission order.
-  std::vector<size_t> starts;
-  starts.reserve(reduce_threads);
-  const size_t target = (pairs.size() + reduce_threads - 1) / reduce_threads;
-  size_t pos = 0;
-  while (pos < pairs.size()) {
-    starts.push_back(pos);
-    size_t next = std::min(pos + target, pairs.size());
-    while (next < pairs.size() && pairs[next].first == pairs[next - 1].first) {
-      ++next;
-    }
-    pos = next;
-  }
-  starts.push_back(pairs.size());
+  // --------------------------------------------------------- partitioned
+  const unsigned partitions = policy.EffectivePartitions();
+  const KeyPartitioner partitioner(partitions, key_space);
+  metrics.shuffle.partitions = partitions;
 
-  const size_t chunks = starts.size() - 1;
-  // Counting sinks don't need their emissions buffered and replayed — the
-  // shard output totals suffice — so workers run sink-less and the counts
-  // are folded in afterwards.
-  const bool counts_only = sink != nullptr && sink->CountsOnly();
-  const bool buffered = sink != nullptr && !counts_only;
-  std::vector<MapReduceMetrics> shard_metrics(chunks);
-  std::vector<BufferingSink> shard_sinks(buffered ? chunks : 0);
-  engine_internal::RunWorkers(chunks, [&](size_t c) {
-    engine_internal::ReduceRange(
-        pairs, starts[c], starts[c + 1], reduce_fn,
-        buffered ? static_cast<InstanceSink*>(&shard_sinks[c]) : nullptr,
-        &shard_metrics[c]);
+  // Map phase: worker t scatters its slice's emissions into
+  // scatter[t][p], one bucket per destination partition. Within a bucket
+  // the pairs sit in the worker's emission order.
+  const std::vector<size_t> bounds =
+      engine_internal::SliceBoundaries(inputs.size(), map_threads);
+  std::vector<std::vector<std::vector<Pair>>> scatter(
+      map_threads, std::vector<std::vector<Pair>>(partitions));
+  engine_internal::RunWorkers(map_threads, [&](size_t t) {
+    Emitter<Value> emitter(&scatter[t], &partitioner);
+    for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+      map_fn(inputs[i], &emitter);
+    }
   });
 
-  for (size_t c = 0; c < chunks; ++c) {
-    metrics.MergeReduceShard(shard_metrics[c]);
-    if (buffered) shard_sinks[c].FlushTo(sink);
+  std::vector<size_t> partition_pairs(partitions, 0);
+  size_t total_pairs = 0;
+  for (unsigned p = 0; p < partitions; ++p) {
+    for (unsigned t = 0; t < map_threads; ++t) {
+      partition_pairs[p] += scatter[t][p].size();
+    }
+    total_pairs += partition_pairs[p];
+  }
+  metrics.key_value_pairs = total_pairs;
+  metrics.bytes = total_pairs * (sizeof(uint64_t) + sizeof(Value));
+  metrics.shuffle.shuffle_bytes = metrics.bytes;
+
+  // Reduce phase: workers drain partitions from a dynamic queue. Each
+  // partition is concatenated in worker order (restoring the serial
+  // emission order of its key range), stable-sorted, and reduced into
+  // partition-private metrics/sinks, so nothing below needs a lock.
+  const bool counts_only = sink != nullptr && sink->CountsOnly();
+  const bool buffered = sink != nullptr && !counts_only;
+  std::vector<MapReduceMetrics> partition_metrics(partitions);
+  std::vector<BufferingSink> partition_sinks(buffered ? partitions : 0);
+  const unsigned reduce_threads =
+      std::min(policy.EffectiveThreads(total_pairs), partitions);
+  std::atomic<unsigned> next_partition{0};
+  engine_internal::RunWorkers(reduce_threads, [&](size_t) {
+    std::vector<Pair> local;
+    while (true) {
+      const unsigned p = next_partition.fetch_add(1);
+      if (p >= partitions) break;
+      if (partition_pairs[p] == 0) continue;
+      local.clear();
+      local.reserve(partition_pairs[p]);
+      for (unsigned t = 0; t < map_threads; ++t) {
+        std::move(scatter[t][p].begin(), scatter[t][p].end(),
+                  std::back_inserter(local));
+      }
+      std::stable_sort(
+          local.begin(), local.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      engine_internal::ReduceRange(
+          local, 0, local.size(), reduce_fn,
+          buffered ? static_cast<InstanceSink*>(&partition_sinks[p]) : nullptr,
+          &partition_metrics[p]);
+    }
+  });
+
+  // Ordered replay: partitions cover ascending disjoint key ranges, so
+  // merging (and flushing buffered emissions) in partition order
+  // reproduces the serial round's ascending-key order exactly.
+  for (unsigned p = 0; p < partitions; ++p) {
+    metrics.MergePartitionShard(partition_metrics[p], partition_pairs[p]);
+    if (buffered) partition_sinks[p].FlushTo(sink);
   }
   if (counts_only) sink->EmitCount(metrics.outputs);
   return metrics;

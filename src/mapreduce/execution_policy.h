@@ -7,16 +7,41 @@
 
 namespace smr {
 
+/// How the engine groups mapper emissions by key before the reduce phase.
+/// Both modes are deterministic and produce identical metrics and sink
+/// emissions; they differ only in host-side wall-clock behavior.
+enum class ShuffleMode {
+  /// Concatenate every worker's emissions into one vector and run a single
+  /// global stable sort — a serial O(C log C) barrier. Kept as the
+  /// reference implementation and for A/B benchmarking.
+  kSort,
+  /// Scatter each map worker's emissions into P per-worker key-range
+  /// buckets; each of the P partitions is then independently concatenated
+  /// in worker order, stable-sorted, and reduced. No global barrier vector
+  /// and no serial sort.
+  kPartitioned,
+};
+
 /// How the simulated map-reduce engine schedules its work on the host.
 ///
 /// The policy changes only wall-clock behavior, never semantics: for every
-/// thread count the engine produces byte-identical metrics and emits the
-/// same instances to the sink in the same order as the serial engine
-/// (reducers in ascending key order, values in mapper emission order).
+/// thread count, shuffle mode, and partition count the engine produces
+/// byte-identical metrics and emits the same instances to the sink in the
+/// same order as the serial engine (reducers in ascending key order, values
+/// in mapper emission order).
 struct ExecutionPolicy {
   /// Number of worker threads for the map and reduce phases. 1 = run
   /// inline on the calling thread (the original serial engine).
   unsigned num_threads = 1;
+
+  /// Shuffle implementation used when num_threads > 1 (a single-threaded
+  /// round always takes the plain sort path — it *is* the reference).
+  ShuffleMode shuffle = ShuffleMode::kPartitioned;
+
+  /// Partition count for ShuffleMode::kPartitioned. 0 = auto: a small
+  /// multiple of num_threads so that the dynamic partition queue keeps all
+  /// workers busy even when key ranges are skewed.
+  unsigned shuffle_partitions = 0;
 
   static ExecutionPolicy Serial() { return ExecutionPolicy{1}; }
 
@@ -30,11 +55,33 @@ struct ExecutionPolicy {
     return ExecutionPolicy{hw == 0 ? 1u : hw};
   }
 
+  /// Copy of this policy with a different shuffle mode / partition count
+  /// (builder style, so call sites stay one expression).
+  ExecutionPolicy WithShuffle(ShuffleMode mode) const {
+    ExecutionPolicy policy = *this;
+    policy.shuffle = mode;
+    return policy;
+  }
+
+  ExecutionPolicy WithPartitions(unsigned partitions) const {
+    ExecutionPolicy policy = *this;
+    policy.shuffle_partitions = partitions;
+    return policy;
+  }
+
   /// Threads actually worth spawning for `work_items` units of work.
   unsigned EffectiveThreads(size_t work_items) const {
     const size_t cap = std::max<size_t>(1, work_items);
     return static_cast<unsigned>(
         std::min<size_t>(std::max(1u, num_threads), cap));
+  }
+
+  /// Partition count the partitioned shuffle will actually use.
+  unsigned EffectivePartitions() const {
+    if (shuffle_partitions > 0) return shuffle_partitions;
+    // 4x oversubscription gives the dynamic queue slack to balance skewed
+    // key ranges; the cap bounds per-worker scatter-buffer overhead.
+    return std::min(std::max(1u, num_threads) * 4, 256u);
   }
 };
 

@@ -18,6 +18,10 @@ std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
      << " max_reducer_input=" << m.max_reducer_input
      << " skew=" << m.SkewRatio() << " reduce_ops=" << m.reduce_cost.Total()
      << " outputs=" << m.outputs;
+  if (m.shuffle.partitions > 0) {
+    os << " shuffle_partitions=" << m.shuffle.partitions
+       << " partition_skew=" << m.shuffle.PartitionSkew(m.key_value_pairs);
+  }
   return os;
 }
 

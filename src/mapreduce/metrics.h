@@ -20,6 +20,28 @@ namespace smr {
 ///    C(b+p-1, p));
 ///  * computation cost = instrumented operation count summed over all
 ///    reducers (`reduce_cost`), plus the skew indicator `max_reducer_input`.
+/// Host-side accounting of how the shuffle actually moved the data. These
+/// are observability counters for the *simulator's* scheduling (they vary
+/// with thread count and shuffle mode), not properties of the simulated
+/// round, so they are excluded from MapReduceMetrics equality.
+struct ShuffleStats {
+  /// Partitions used by the partitioned shuffle (0 = sort shuffle).
+  uint64_t partitions = 0;
+  /// Key-value pairs in the heaviest partition (shuffle-level skew).
+  uint64_t max_partition_pairs = 0;
+  /// Bytes scattered through the shuffle (keys + values).
+  uint64_t shuffle_bytes = 0;
+
+  /// Max partition load over mean partition load; 1.0 is perfectly
+  /// balanced. 0 when the round used the sort shuffle or moved no data.
+  double PartitionSkew(uint64_t total_pairs) const {
+    if (partitions == 0 || total_pairs == 0) return 0.0;
+    const double mean = static_cast<double>(total_pairs) /
+                        static_cast<double>(partitions);
+    return static_cast<double>(max_partition_pairs) / mean;
+  }
+};
+
 struct MapReduceMetrics {
   uint64_t input_records = 0;
   uint64_t key_value_pairs = 0;
@@ -29,6 +51,7 @@ struct MapReduceMetrics {
   uint64_t max_reducer_input = 0;
   uint64_t outputs = 0;
   CostCounter reduce_cost;
+  ShuffleStats shuffle;
 
   /// Communication cost per input record (the paper reports replication
   /// rates such as "b per edge", Section 2.3).
@@ -70,7 +93,30 @@ struct MapReduceMetrics {
     reduce_cost += shard.reduce_cost;
   }
 
-  bool operator==(const MapReduceMetrics&) const = default;
+  /// Folds one partition of the partitioned shuffle into this metrics
+  /// object: the reduce counters combine exactly as MergeReduceShard
+  /// (partitions cover disjoint ascending key ranges, and a key never
+  /// straddles a partition), and the partition's pair count feeds the
+  /// shuffle-skew accounting.
+  void MergePartitionShard(const MapReduceMetrics& shard,
+                           uint64_t partition_pairs) {
+    MergeReduceShard(shard);
+    shuffle.max_partition_pairs =
+        std::max(shuffle.max_partition_pairs, partition_pairs);
+  }
+
+  /// Equality over the quantities of the simulated round (the paper's cost
+  /// measures). Host-side ShuffleStats are deliberately excluded: the
+  /// engine's determinism guarantee is that these fields are byte-identical
+  /// for every thread count, shuffle mode, and partition count.
+  bool operator==(const MapReduceMetrics& other) const {
+    return input_records == other.input_records &&
+           key_value_pairs == other.key_value_pairs && bytes == other.bytes &&
+           distinct_keys == other.distinct_keys &&
+           key_space == other.key_space &&
+           max_reducer_input == other.max_reducer_input &&
+           outputs == other.outputs && reduce_cost == other.reduce_cost;
+  }
 
   std::string ToString() const;
 };

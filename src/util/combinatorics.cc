@@ -16,6 +16,19 @@ uint64_t Binomial(int64_t n, int64_t k) {
   return result;
 }
 
+bool BinomialFitsUint64(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return true;  // Binomial returns 0.
+  k = std::min(k, n - k);
+  unsigned __int128 result = 1;
+  for (int64_t i = 1; i <= k; ++i) {
+    // Exact at every step: the running value is C(n-k+i, i).
+    result = result * static_cast<unsigned __int128>(n - k + i) /
+             static_cast<unsigned __int128>(i);
+    if (result > static_cast<unsigned __int128>(UINT64_MAX)) return false;
+  }
+  return true;
+}
+
 uint64_t Factorial(int n) {
   uint64_t result = 1;
   for (int i = 2; i <= n; ++i) result *= static_cast<uint64_t>(i);
@@ -84,6 +97,91 @@ uint64_t RankNondecreasing(const std::vector<int>& seq, int base) {
     prev = seq[i];
   }
   return rank;
+}
+
+std::vector<int> UnrankNondecreasing(uint64_t rank, int base, int length) {
+  // Greedy inverse of RankNondecreasing: at each position take the smallest
+  // value whose block of completions contains `rank`.
+  std::vector<int> seq(length);
+  int prev = 0;
+  for (int i = 0; i < length; ++i) {
+    const int rem = length - i - 1;
+    int v = prev;
+    while (true) {
+      const uint64_t block = Binomial(base - v + rem - 1, rem);
+      if (rank < block) break;
+      rank -= block;
+      ++v;
+    }
+    seq[i] = v;
+    prev = v;
+  }
+  return seq;
+}
+
+uint64_t RankSubset(const std::vector<int>& seq, int base) {
+  uint64_t rank = 0;
+  int prev = -1;
+  const int length = static_cast<int>(seq.size());
+  for (int i = 0; i < length; ++i) {
+    const int rem = length - i - 1;
+    // Subsets preceding `seq` pick some v in (prev, seq[i]) here and any
+    // rem-subset of (v, base) after it.
+    for (int v = prev + 1; v < seq[i]; ++v) {
+      rank += Binomial(base - 1 - v, rem);
+    }
+    prev = seq[i];
+  }
+  return rank;
+}
+
+std::vector<int> UnrankSubset(uint64_t rank, int base, int length) {
+  std::vector<int> seq(length);
+  int prev = -1;
+  for (int i = 0; i < length; ++i) {
+    const int rem = length - i - 1;
+    int v = prev + 1;
+    while (true) {
+      const uint64_t block = Binomial(base - 1 - v, rem);
+      if (rank < block) break;
+      rank -= block;
+      ++v;
+    }
+    seq[i] = v;
+    prev = v;
+  }
+  return seq;
+}
+
+namespace {
+
+/// C(n, 2) and C(n, 3) with the convention C(n, k) = 0 for n < k.
+uint64_t Choose2(int64_t n) {
+  return n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+}
+
+uint64_t Choose3(int64_t n) {
+  return n < 3 ? 0 : static_cast<uint64_t>(n) * (n - 1) * (n - 2) / 6;
+}
+
+}  // namespace
+
+uint64_t RankNondecreasing3(int a, int b, int c, int base) {
+  // Hockey-stick sums of the generic blocks: position 0 contributes
+  // sum_{v<a} C(base-v+1, 2) = C(base+2, 3) - C(base-a+2, 3), position 1
+  // sum_{v in [a,b)} (base-v) = C(base-a+1, 2) - C(base-b+1, 2), and
+  // position 2 counts c - b.
+  const int64_t n = base;
+  return (Choose3(n + 2) - Choose3(n - a + 2)) +
+         (Choose2(n - a + 1) - Choose2(n - b + 1)) +
+         static_cast<uint64_t>(c - b);
+}
+
+uint64_t RankSubset3(int a, int b, int c, int base) {
+  const int64_t n = base;
+  return (Choose3(n) - Choose3(n - a)) +
+         (Choose2(n - 1 - a) - Choose2(n - b)) +
+         static_cast<uint64_t>(c - b - 1);
 }
 
 namespace {

@@ -10,6 +10,12 @@ namespace smr {
 /// ranges used in this project (n up to ~60). Returns 0 when k < 0 or k > n.
 uint64_t Binomial(int64_t n, int64_t k);
 
+/// True iff C(n, k) is representable in a uint64_t. Callers that derive a
+/// reducer-id space from a binomial (bucket-oriented processing uses
+/// C(b+p-1, p), generalized Partition C(b, p)) must check this before
+/// trusting Binomial's value: the plain function wraps silently.
+bool BinomialFitsUint64(int64_t n, int64_t k);
+
 /// n! for small n (n <= 20).
 uint64_t Factorial(int n);
 
@@ -32,6 +38,32 @@ std::vector<std::vector<int>> NondecreasingSequences(int base, int length);
 /// list -> reducer id mapping used by bucket-oriented processing; it is a
 /// bijection onto [0, C(base+length-1, length)).
 uint64_t RankNondecreasing(const std::vector<int>& seq, int base);
+
+/// Inverse of RankNondecreasing: the nondecreasing sequence of `length`
+/// values over [0, base) with lexicographic rank `rank`. Together the pair
+/// forms the overflow-free reducer-key codec for bucket multisets: ranks are
+/// dense in [0, C(base+length-1, length)), unlike base-b positional packing
+/// which wraps a uint64_t as soon as base^length > 2^64 (e.g. b=64, p=11)
+/// and silently fuses distinct reducers.
+/// Precondition: rank < C(base+length-1, length) — the greedy digit search
+/// does not terminate for out-of-range ranks.
+std::vector<int> UnrankNondecreasing(uint64_t rank, int base, int length);
+
+/// Lexicographic rank of a strictly increasing sequence (a subset written
+/// in ascending order) among all k-subsets of [0, base). Bijection onto
+/// [0, C(base, k)); the subset analogue of RankNondecreasing.
+uint64_t RankSubset(const std::vector<int>& seq, int base);
+
+/// Inverse of RankSubset. Precondition: rank < C(base, length).
+std::vector<int> UnrankSubset(uint64_t rank, int base, int length);
+
+/// Closed forms of RankNondecreasing / RankSubset for length-3 sequences —
+/// the per-emission hot path of the triangle-algorithm mappers, where the
+/// generic O(base) ranking loop (and its vector argument) would multiply
+/// the map phase's arithmetic by b. Requires a <= b <= c (strictly
+/// increasing for the subset form), all in [0, base).
+uint64_t RankNondecreasing3(int a, int b, int c, int base);
+uint64_t RankSubset3(int a, int b, int c, int base);
 
 /// All ways to write `total` as an ordered sum of `parts` positive integers
 /// (compositions). Used by the cycle run-sequence enumeration (Section 5).

@@ -27,6 +27,12 @@ namespace {
 
 const unsigned kThreadCounts[] = {1, 2, 8};
 
+// Both shuffle implementations must honor the determinism contract; the
+// strategy harness below runs each strategy under both at every thread
+// count.
+const ShuffleMode kShuffleModes[] = {ShuffleMode::kSort,
+                                     ShuffleMode::kPartitioned};
+
 DirectedGraph RandomDigraph(NodeId n, size_t m, uint64_t seed) {
   Rng rng(seed);
   std::set<Arc> seen;
@@ -68,14 +74,16 @@ TEST(EngineParallel, RawRoundIdenticalAcrossThreadCounts) {
   ASSERT_GT(serial.outputs, 0u);
 
   for (const unsigned threads : kThreadCounts) {
-    CollectingSink sink;
-    const MapReduceMetrics metrics =
-        RunSingleRound<int, int>(inputs, map_fn, reduce_fn, &sink, 7,
-                                 ExecutionPolicy::WithThreads(threads));
-    EXPECT_EQ(metrics, serial) << "threads=" << threads;
-    // Emission order, not just multiset, must match the serial engine.
-    EXPECT_EQ(sink.assignments(), serial_sink.assignments())
-        << "threads=" << threads;
+    for (const ShuffleMode mode : kShuffleModes) {
+      CollectingSink sink;
+      const MapReduceMetrics metrics = RunSingleRound<int, int>(
+          inputs, map_fn, reduce_fn, &sink, 7,
+          ExecutionPolicy::WithThreads(threads).WithShuffle(mode));
+      EXPECT_EQ(metrics, serial) << "threads=" << threads;
+      // Emission order, not just multiset, must match the serial engine.
+      EXPECT_EQ(sink.assignments(), serial_sink.assignments())
+          << "threads=" << threads;
+    }
   }
 }
 
@@ -123,11 +131,15 @@ void ExpectStrategyDeterministic(const SampleGraph& pattern,
                                    "determinism check would be vacuous";
 
   for (const unsigned threads : kThreadCounts) {
-    CollectingSink sink;
-    const MapReduceMetrics metrics =
-        strategy(ExecutionPolicy::WithThreads(threads), &sink);
-    EXPECT_EQ(metrics, serial) << "threads=" << threads;
-    EXPECT_EQ(KeysOf(sink, pattern), serial_keys) << "threads=" << threads;
+    for (const ShuffleMode mode : kShuffleModes) {
+      CollectingSink sink;
+      const MapReduceMetrics metrics = strategy(
+          ExecutionPolicy::WithThreads(threads).WithShuffle(mode), &sink);
+      EXPECT_EQ(metrics, serial)
+          << "threads=" << threads << " sort=" << (mode == ShuffleMode::kSort);
+      EXPECT_EQ(KeysOf(sink, pattern), serial_keys)
+          << "threads=" << threads << " sort=" << (mode == ShuffleMode::kSort);
+    }
   }
 }
 
