@@ -8,7 +8,7 @@
 #include "cq/cq_evaluator.h"
 #include "cq/cq_generation.h"
 #include "graph/generators.h"
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "serial/triangles.h"
 #include "shares/share_optimizer.h"
 #include "util/hashing.h"
@@ -101,11 +101,12 @@ void BM_EngineShuffle(benchmark::State& state) {
           std::max(2u, ExecutionPolicy::MaxParallel().num_threads))
           .WithShuffle(state.range(0) == 0 ? ShuffleMode::kSort
                                            : ShuffleMode::kPartitioned);
+  const RoundSpec<int, int> round{"shuffle-bench", map_fn, reduce_fn,
+                                  key_space, {}};
   for (auto _ : state) {
+    JobDriver driver(policy);
     benchmark::DoNotOptimize(
-        RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr,
-                                 key_space, policy)
-            .distinct_keys);
+        driver.RunRound(round, inputs, nullptr).distinct_keys);
   }
 }
 BENCHMARK(BM_EngineShuffle)->Arg(0)->Arg(1);

@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "core/subgraph_enumerator.h"
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "core/triangle_algorithms.h"
 #include "core/two_round_triangles.h"
 #include "graph/generators.h"
@@ -40,8 +40,10 @@ MapReduceMetrics NaiveNodeGrouping(const Graph& g) {
                       ReduceContext* context) {
     context->cost->edges_scanned += values.size();
   };
-  return RunSingleRound<Edge, Edge>(g.edges(), map_fn, reduce_fn, nullptr,
-                                    g.num_nodes());
+  JobDriver driver;
+  return driver.RunRound(RoundSpec<Edge, Edge>{"naive-per-node", map_fn,
+                                               reduce_fn, g.num_nodes(), {}},
+                         g.edges(), nullptr);
 }
 
 void Report(const char* name, const Graph& g) {

@@ -11,19 +11,30 @@
 //   --input     er:<n>:<m>:<seed>  (Erdős–Rényi)
 //               pa:<n>:<deg>:<seed> (preferential attachment)
 //               file:<path>        (edge list)
-//   --strategy  bucket:<b> (default bucket:8) | variable:<k> | serial
+//   --strategy  bucket:<b> (default bucket:8) | variable:<k> | serial |
+//               census (per-node triangle counts; a 3-round pipeline whose
+//               counting round declares a map-side combiner)
 //   --threads   engine worker threads (0 = one per hardware context;
 //               default 1). Results are identical for every value.
 //   --shuffle   partition[:P] (default; P = partition count, default auto)
 //               | sort (the single-global-sort reference shuffle).
 //               Results are identical for every mode and partition count.
+//   --combine   on (default) | off: apply declared map-side combiners.
+//               Results are identical either way; the round table's
+//               'shipped' column shows the savings.
 //   --stats     print graph statistics first
 //   --print N   print the first N instances found
+//
+// Every map-reduce run prints its JobMetrics round table: per-round
+// communication (the paper's cost model), physically shipped pairs (after
+// combining), reducers used, max reducer input, and outputs.
 //
 // Examples:
 //   smr_cli --pattern square --input er:2000:12000:1 --strategy bucket:6
 //   smr_cli --pattern cycle:5 --input pa:500:3:7 --strategy variable:729
 //   smr_cli --pattern triangle --input file:my.edges --strategy serial
+//   smr_cli --pattern triangle --input er:2000:40000:1 --strategy census
+//           --threads 4 --combine off
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,11 +45,14 @@
 
 #include "core/plan_advisor.h"
 #include "core/subgraph_enumerator.h"
+#include "core/triangle_census.h"
 #include "core/variable_oriented.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/node_order.h"
 #include "graph/statistics.h"
 #include "mapreduce/execution_policy.h"
+#include "mapreduce/job.h"
 
 namespace {
 
@@ -102,6 +116,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> input_spec;
   std::string strategy = "bucket:8";
   std::string shuffle = "partition";
+  std::string combine = "on";
   uint64_t seed = 1;
   int threads = 1;
   bool stats = false;
@@ -129,6 +144,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--shuffle") {
       shuffle = next();
+    } else if (arg == "--combine") {
+      combine = next();
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
@@ -174,6 +191,11 @@ int main(int argc, char** argv) {
   } else {
     Usage("--shuffle must be sort or partition[:P]");
   }
+  if (combine == "off") {
+    policy = policy.WithCombine(false);
+  } else if (combine != "on") {
+    Usage("--combine must be on or off");
+  }
 
   const auto strategy_parts = SplitColons(strategy);
   if (policy.num_threads > 1) {
@@ -191,6 +213,8 @@ int main(int argc, char** argv) {
     }
   }
   uint64_t found = 0;
+  smr::JobMetrics job;
+  bool have_job = false;
   if (strategy_parts[0] == "serial") {
     found = enumerator.RunSerial(graph, sink);
     std::printf("serial enumeration: %llu instances\n",
@@ -200,7 +224,8 @@ int main(int argc, char** argv) {
                       ? std::atoi(strategy_parts[1].c_str())
                       : 8;
     const auto metrics =
-        enumerator.RunBucketOriented(graph, b, seed, sink, policy);
+        enumerator.RunBucketOriented(graph, b, seed, sink, policy, &job);
+    have_job = true;
     found = metrics.outputs;
     std::printf("bucket-oriented (b=%d): %s\n", b,
                 metrics.ToString().c_str());
@@ -211,14 +236,42 @@ int main(int argc, char** argv) {
     const auto plan = smr::PlanEnumeration(pattern, k);
     std::printf("plan:    %s\n", plan.ToString().c_str());
     const auto metrics = enumerator.RunVariableOriented(
-        graph, smr::RoundShares(plan.shares), seed, sink, policy);
+        graph, smr::RoundShares(plan.shares), seed, sink, policy, &job);
+    have_job = true;
     found = metrics.outputs;
     std::printf("variable-oriented: %s\n", metrics.ToString().c_str());
+  } else if (strategy_parts[0] == "census") {
+    // Per-node triangle counts; the pattern must be the triangle (the
+    // census is a triangle pipeline, not a generic-pattern strategy).
+    if (pattern_spec != "triangle") {
+      Usage("--strategy census requires --pattern triangle");
+    }
+    const auto result = smr::TriangleCensus(
+        graph, smr::NodeOrder::ByDegree(graph), policy);
+    job = result.job;
+    have_job = true;
+    found = result.total_triangles;
+    uint64_t max_count = 0;
+    smr::NodeId argmax = 0;
+    for (smr::NodeId v = 0; v < graph.num_nodes(); ++v) {
+      if (result.per_node[v] > max_count) {
+        max_count = result.per_node[v];
+        argmax = v;
+      }
+    }
+    std::printf(
+        "triangle census:  %llu triangles; busiest node %u is in %llu\n",
+        static_cast<unsigned long long>(result.total_triangles), argmax,
+        static_cast<unsigned long long>(max_count));
   } else {
     Usage("unknown strategy");
   }
+  if (have_job) {
+    std::printf("job (combine %s):\n%s", policy.combine ? "on" : "off",
+                job.RoundTable().c_str());
+  }
 
-  if (print_limit > 0) {
+  if (print_limit > 0 && strategy_parts[0] != "census") {
     const size_t show = std::min(print_limit, collecting.assignments().size());
     for (size_t i = 0; i < show; ++i) {
       std::printf("  instance:");

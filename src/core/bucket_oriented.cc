@@ -7,7 +7,7 @@
 #include "cq/cq_evaluator.h"
 #include "graph/node_order.h"
 #include "graph/subgraph.h"
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "util/combinatorics.h"
 #include "util/hashing.h"
 
@@ -56,7 +56,7 @@ class ReducerSink : public InstanceSink {
 MapReduceMetrics BucketOrientedEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy) {
+    const ExecutionPolicy& policy, JobMetrics* job) {
   const int p = pattern.num_vars();
   if (buckets < 1 || p < 2) throw std::invalid_argument("bad parameters");
   if (!BinomialFitsUint64(buckets + p - 1, p)) {
@@ -109,14 +109,19 @@ MapReduceMetrics BucketOrientedEnumerate(
     evaluator.EvaluateAll(cqs, &reducer_sink, context->cost);
   };
 
-  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space, policy);
+  JobDriver driver(policy);
+  // No combiner: the reducers need every edge copy of their local subgraph.
+  const RoundSpec<Edge, Edge> round{"bucket-oriented", map_fn, reduce_fn,
+                                    key_space, {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 MapReduceMetrics GeneralizedPartitionEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy) {
+    const ExecutionPolicy& policy, JobMetrics* job) {
   const int p = pattern.num_vars();
   const int b = num_groups;
   if (p < 3 || b < p) {
@@ -178,8 +183,12 @@ MapReduceMetrics GeneralizedPartitionEnumerate(
     evaluator.EvaluateAll(cqs, &reducer_sink, context->cost);
   };
 
-  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<Edge, Edge> round{"generalized-partition", map_fn,
+                                    reduce_fn, key_space, {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 void ForEachGroupSubsetContaining(

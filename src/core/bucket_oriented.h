@@ -11,6 +11,7 @@
 #include "graph/sample_graph.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 
 namespace smr {
@@ -27,11 +28,13 @@ namespace smr {
 /// every instance is emitted exactly once.
 ///
 /// `cqs` must be the CQ set for `pattern` (from CqsForSample); it is taken
-/// as a parameter so callers can reuse it across runs.
+/// as a parameter so callers can reuse it across runs. If `job` is
+/// non-null it receives the JobMetrics of the (single-round) pipeline.
 MapReduceMetrics BucketOrientedEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 /// The generalization of the Partition algorithm to p-node sample graphs
 /// that Section 4.5 compares against: nodes are partitioned into b groups,
@@ -41,7 +44,8 @@ MapReduceMetrics BucketOrientedEnumerate(
 MapReduceMetrics GeneralizedPartitionEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 /// Calls `fn` once for every strictly increasing p-subset of [0, b) that
 /// contains all of `required` (sorted, distinct), in lexicographic order.

@@ -13,24 +13,24 @@ SubgraphEnumerator::SubgraphEnumerator(SampleGraph pattern)
 
 MapReduceMetrics SubgraphEnumerator::RunBucketOriented(
     const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy) const {
+    const ExecutionPolicy& policy, JobMetrics* job) const {
   return BucketOrientedEnumerate(pattern_, cqs_, graph, buckets, seed, sink,
-                                 policy);
+                                 policy, job);
 }
 
 MapReduceMetrics SubgraphEnumerator::RunVariableOriented(
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
-    InstanceSink* sink, const ExecutionPolicy& policy) const {
+    InstanceSink* sink, const ExecutionPolicy& policy, JobMetrics* job) const {
   return VariableOrientedEnumerate(pattern_, cqs_, graph, shares, seed, sink,
-                                   policy);
+                                   policy, job);
 }
 
 MapReduceMetrics SubgraphEnumerator::RunVariableOrientedAuto(
     const Graph& graph, double k, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy) const {
+    const ExecutionPolicy& policy, JobMetrics* job) const {
   const ShareSolution solution = OptimalShares(k);
   return RunVariableOriented(graph, RoundShares(solution.shares), seed, sink,
-                             policy);
+                             policy, job);
 }
 
 ShareSolution SubgraphEnumerator::OptimalShares(double k) const {

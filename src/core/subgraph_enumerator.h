@@ -9,6 +9,7 @@
 #include "graph/sample_graph.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 #include "shares/share_optimizer.h"
 
@@ -40,22 +41,26 @@ class SubgraphEnumerator {
   /// Bucket-oriented processing (Section 4.5): same b for every variable,
   /// C(b+p-1, p) reducers, replication C(b+p-3, p-2) per edge. `policy`
   /// chooses how many host threads simulate the reducers; results are
-  /// identical for every thread count.
+  /// identical for every thread count. A non-null `job` receives the
+  /// JobMetrics round summary (as for every strategy below).
   MapReduceMetrics RunBucketOriented(
       const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
-      const ExecutionPolicy& policy = ExecutionPolicy::Serial()) const;
+      const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+      JobMetrics* job = nullptr) const;
 
   /// Variable-oriented processing (Section 4.3) with explicit shares.
   MapReduceMetrics RunVariableOriented(
       const Graph& graph, const std::vector<int>& shares, uint64_t seed,
       InstanceSink* sink,
-      const ExecutionPolicy& policy = ExecutionPolicy::Serial()) const;
+      const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+      JobMetrics* job = nullptr) const;
 
   /// Variable-oriented processing with shares chosen by the optimizer of
   /// Section 4.1 for a reducer budget of (approximately) k.
   MapReduceMetrics RunVariableOrientedAuto(
       const Graph& graph, double k, uint64_t seed, InstanceSink* sink,
-      const ExecutionPolicy& policy = ExecutionPolicy::Serial()) const;
+      const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+      JobMetrics* job = nullptr) const;
 
   /// The optimizer's share solution for this pattern at reducer budget k
   /// (variable-oriented cost expression, Section 4.3).

@@ -8,7 +8,7 @@
 
 #include "graph/node_order.h"
 #include "graph/subgraph.h"
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "serial/triangles.h"
 #include "util/combinatorics.h"
 #include "util/hashing.h"
@@ -62,7 +62,8 @@ struct RoleEdge {
 
 MapReduceMetrics MultiwayJoinTriangles(const Graph& graph, int buckets,
                                        uint64_t seed, InstanceSink* sink,
-                                       const ExecutionPolicy& policy) {
+                                       const ExecutionPolicy& policy,
+                                       JobMetrics* job) {
   if (buckets < 1) throw std::invalid_argument("buckets must be >= 1");
   const BucketHasher hasher(buckets, seed);
   const uint64_t key_space = static_cast<uint64_t>(buckets) * buckets * buckets;
@@ -111,13 +112,18 @@ MapReduceMetrics MultiwayJoinTriangles(const Graph& graph, int buckets,
     }
   };
 
-  return RunSingleRound<Edge, RoleEdge>(graph.edges(), map_fn, reduce_fn, sink,
-                                        key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<Edge, RoleEdge> round{"multiway-join", map_fn, reduce_fn,
+                                        key_space, {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
                                         uint64_t seed, InstanceSink* sink,
-                                        const ExecutionPolicy& policy) {
+                                        const ExecutionPolicy& policy,
+                                        JobMetrics* job) {
   if (buckets < 1) throw std::invalid_argument("buckets must be >= 1");
   const BucketHasher hasher(buckets, seed);
   const NodeOrder order = NodeOrder::ByBucket(graph.num_nodes(), hasher);
@@ -160,13 +166,18 @@ MapReduceMetrics OrderedBucketTriangles(const Graph& graph, int buckets,
     }
   };
 
-  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<Edge, Edge> round{"ordered-buckets", map_fn, reduce_fn,
+                                    key_space, {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
                                     uint64_t seed, InstanceSink* sink,
-                                    const ExecutionPolicy& policy) {
+                                    const ExecutionPolicy& policy,
+                                    JobMetrics* job) {
   if (num_groups < 3) throw std::invalid_argument("Partition needs b >= 3");
   const int b = num_groups;
   const BucketHasher hasher(b, seed);
@@ -238,8 +249,12 @@ MapReduceMetrics PartitionTriangles(const Graph& graph, int num_groups,
     }
   };
 
-  return RunSingleRound<Edge, Edge>(graph.edges(), map_fn, reduce_fn, sink,
-                                    key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<Edge, Edge> round{"partition", map_fn, reduce_fn, key_space,
+                                    {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 }  // namespace smr

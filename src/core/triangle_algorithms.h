@@ -6,6 +6,7 @@
 #include "graph/graph.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 
 namespace smr {
@@ -31,7 +32,8 @@ namespace smr {
 /// paper notes Partition must pay extra work for.
 MapReduceMetrics PartitionTriangles(
     const Graph& graph, int num_groups, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 /// The multiway-join algorithm of [2] (Section 2.2): the join
 /// E(X,Y) |><| E(Y,Z) |><| E(X,Z) with each variable hashed to b buckets;
@@ -39,14 +41,16 @@ MapReduceMetrics PartitionTriangles(
 /// of the three roles is deduplicated, as in the paper's footnote 1).
 MapReduceMetrics MultiwayJoinTriangles(
     const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 /// The ordered-bucket algorithm of Section 2.3: nodes ordered by
 /// (bucket, id), so only the C(b+2,3) nondecreasing bucket triples need
 /// reducers and each edge is replicated exactly b times.
 MapReduceMetrics OrderedBucketTriangles(
     const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 }  // namespace smr
 

@@ -1,0 +1,44 @@
+#ifndef SMR_CORE_TRIANGLE_CENSUS_H_
+#define SMR_CORE_TRIANGLE_CENSUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_order.h"
+#include "mapreduce/execution_policy.h"
+#include "mapreduce/job.h"
+
+namespace smr {
+
+/// Result of the triangle census: how many triangles each node belongs to
+/// (the local clustering numerator), plus the job's round-by-round cost.
+struct TriangleCensusResult {
+  JobMetrics job;
+  /// per_node[v] = number of triangles containing v.
+  std::vector<uint64_t> per_node;
+  /// Total distinct triangles (= sum(per_node) / 3).
+  uint64_t total_triangles = 0;
+};
+
+/// Counts triangles per node with a three-round JobDriver pipeline — the
+/// tree's canonical *counting* workload, where a map-side combiner pays:
+///
+///   Round 1 — 2-paths by order-minimum endpoint (as TwoRoundTriangles).
+///   Round 2 — join 2-paths with closing edges; every triangle found is
+///   threaded to round 3 as a record (outputs counts the triangles).
+///   Round 3 — key each triangle corner by its node with count 1 and SUM.
+///   The declared combiner folds each map worker's duplicate corners
+///   before the shuffle, so with combining on the round ships one pair
+///   per (worker, touched node) instead of 3 * #triangles — same model
+///   communication cost (`key_value_pairs`), strictly fewer physical
+///   pairs (`ShuffleStats::pairs_shipped`), byte-identical results.
+///
+/// The policy's `combine` flag A/Bs the combiner over the whole pipeline.
+TriangleCensusResult TriangleCensus(
+    const Graph& graph, const NodeOrder& order,
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+
+}  // namespace smr
+
+#endif  // SMR_CORE_TRIANGLE_CENSUS_H_

@@ -1,0 +1,129 @@
+#ifndef SMR_CORE_TWO_PATH_ROUNDS_H_
+#define SMR_CORE_TWO_PATH_ROUNDS_H_
+
+#include <array>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_order.h"
+#include "mapreduce/job.h"
+
+namespace smr {
+namespace two_path_rounds {
+
+/// The first two rounds shared by the two-round pipelines built on [19]'s
+/// node-iterator: TwoRoundTriangles (enumeration) and TriangleCensus
+/// (counting). Internal to src/core — the specs capture `order` by
+/// reference, so they must not outlive the caller's NodeOrder.
+
+/// Round-2 record: either a 2-path u - mid - w (kind 0) or a closing edge
+/// {u, w} (kind 1). Keyed by u * n + w with u < w by order rank — dense in
+/// the declared key space n^2, which the engine's partitioned shuffle
+/// splits into key ranges (the old PackPair key, u * 2^32 + w, put nearly
+/// every key beyond n^2 and would have collapsed the shuffle into its last
+/// partition).
+struct PathOrEdge {
+  NodeId mid = 0;
+  uint8_t is_edge = 0;
+};
+
+/// Round-2 input: all 2-paths plus all (oriented) edges, as one record
+/// type.
+struct JoinInput {
+  NodeId u;
+  NodeId w;
+  NodeId mid;
+  uint8_t is_edge;
+};
+
+/// Round 1: group edges by their order-minimum endpoint; the reducer for
+/// node v emits every properly ordered 2-path u - v - w (u < w by order
+/// rank) as an intermediate record (u, v, w).
+inline RoundSpec<Edge, NodeId> TwoPathsRound(const Graph& graph,
+                                             const NodeOrder& order) {
+  return RoundSpec<Edge, NodeId>{
+      "two-paths",
+      [&order](const Edge& edge, Emitter<NodeId>* out) {
+        const Edge oriented = order.Orient(edge);
+        // Key: the smaller endpoint; value: the larger.
+        out->Emit(oriented.first, oriented.second);
+      },
+      [&order](uint64_t key, std::span<const NodeId> values,
+               ReduceContext* context) {
+        const NodeId mid = static_cast<NodeId>(key);
+        context->cost->edges_scanned += values.size();
+        for (size_t i = 0; i < values.size(); ++i) {
+          for (size_t j = i + 1; j < values.size(); ++j) {
+            ++context->cost->candidates;
+            NodeId u = values[i];
+            NodeId w = values[j];
+            if (!order.Less(u, w)) std::swap(u, w);
+            const std::array<NodeId, 3> path = {u, mid, w};
+            context->EmitRecord(path);
+          }
+        }
+      },
+      graph.num_nodes(),
+      {}};
+}
+
+/// Round 2's inputs: the 2-path records of round 1 plus every oriented
+/// edge as a closing-edge marker.
+inline std::vector<JoinInput> BuildJoinInputs(const RecordBuffer& two_paths,
+                                              const Graph& graph,
+                                              const NodeOrder& order) {
+  std::vector<JoinInput> inputs;
+  inputs.reserve(two_paths.size() + graph.num_edges());
+  for (size_t i = 0; i < two_paths.size(); ++i) {
+    const auto path = two_paths[i];
+    inputs.push_back({path[0], path[2], path[1], 0});
+  }
+  for (const Edge& e : graph.edges()) {
+    const Edge oriented = order.Orient(e);
+    inputs.push_back({oriented.first, oriented.second, 0, 1});
+  }
+  return inputs;
+}
+
+/// Round 2: join 2-paths with closing edges on the endpoint pair; a
+/// reducer seeing both emits each triangle (mid, u, w), mid the
+/// order-minimum, via EmitInstance — and, when `record_triangles` is set,
+/// also as a record for a downstream counting round.
+inline RoundSpec<JoinInput, PathOrEdge> JoinRound(const Graph& graph,
+                                                  bool record_triangles) {
+  const uint64_t n = graph.num_nodes();
+  return RoundSpec<JoinInput, PathOrEdge>{
+      "join",
+      [n](const JoinInput& input, Emitter<PathOrEdge>* out) {
+        out->Emit(static_cast<uint64_t>(input.u) * n + input.w,
+                  PathOrEdge{input.mid, input.is_edge});
+      },
+      [n, record_triangles](uint64_t key, std::span<const PathOrEdge> values,
+                            ReduceContext* context) {
+        const NodeId u = static_cast<NodeId>(key / n);
+        const NodeId w = static_cast<NodeId>(key % n);
+        bool closing_edge = false;
+        for (const PathOrEdge& value : values) {
+          ++context->cost->edges_scanned;
+          if (value.is_edge) closing_edge = true;
+        }
+        if (!closing_edge) return;
+        for (const PathOrEdge& value : values) {
+          if (value.is_edge) continue;
+          ++context->cost->candidates;
+          // Triangle (mid, u, w) with mid the order-minimum: emit sorted.
+          const std::array<NodeId, 3> assignment = {value.mid, u, w};
+          context->EmitInstance(assignment);
+          if (record_triangles) context->EmitRecord(assignment);
+        }
+      },
+      n * n,
+      {}};
+}
+
+}  // namespace two_path_rounds
+}  // namespace smr
+
+#endif  // SMR_CORE_TWO_PATH_ROUNDS_H_

@@ -1,103 +1,31 @@
 #include "core/two_round_triangles.h"
 
-#include <array>
-#include <vector>
-
-#include "mapreduce/engine.h"
+#include "core/two_path_rounds.h"
+#include "mapreduce/job.h"
 
 namespace smr {
-
-namespace {
-
-/// Round-2 record: either a 2-path u - mid - w (kind 0) or a closing edge
-/// {u, w} (kind 1). Keyed by u * n + w with u < w by order rank — dense in
-/// the declared key space n^2, which the engine's partitioned shuffle
-/// splits into key ranges (the old PackPair key, u * 2^32 + w, put nearly
-/// every key beyond n^2 and would have collapsed the shuffle into its last
-/// partition).
-struct PathOrEdge {
-  NodeId mid = 0;
-  uint8_t is_edge = 0;
-};
-
-}  // namespace
 
 TwoRoundMetrics TwoRoundTriangles(const Graph& graph, const NodeOrder& order,
                                   InstanceSink* sink,
                                   const ExecutionPolicy& policy) {
+  JobDriver driver(policy);
+
+  // Round 1: 2-paths by order-minimum endpoint, threaded to round 2
+  // through the engine's deterministic record channel.
+  RecordBuffer two_paths(3);
+  driver.RunRound(two_path_rounds::TwoPathsRound(graph, order), graph.edges(),
+                  nullptr, &two_paths);
+
+  // Round 2: join 2-paths with closing edges on the endpoint pair.
+  const std::vector<two_path_rounds::JoinInput> inputs =
+      two_path_rounds::BuildJoinInputs(two_paths, graph, order);
+  driver.RunRound(two_path_rounds::JoinRound(graph, /*record_triangles=*/false),
+                  inputs, sink);
+
   TwoRoundMetrics result;
-
-  // ---- Round 1: group edges by their order-minimum endpoint; emit
-  // properly ordered 2-paths. Runs serially regardless of `policy`: the
-  // reducer appends to the shared `two_paths` list, and round 2's inputs
-  // must keep the serial order for the determinism guarantee.
-  std::vector<std::array<NodeId, 3>> two_paths;  // (u, mid, w), u < w
-  auto map1 = [&](const Edge& edge, Emitter<NodeId>* out) {
-    const Edge oriented = order.Orient(edge);
-    // Key: the smaller endpoint; value: the larger.
-    out->Emit(oriented.first, oriented.second);
-  };
-  auto reduce1 = [&](uint64_t key, std::span<const NodeId> values,
-                     ReduceContext* context) {
-    const NodeId mid = static_cast<NodeId>(key);
-    context->cost->edges_scanned += values.size();
-    for (size_t i = 0; i < values.size(); ++i) {
-      for (size_t j = i + 1; j < values.size(); ++j) {
-        ++context->cost->candidates;
-        NodeId u = values[i];
-        NodeId w = values[j];
-        if (!order.Less(u, w)) std::swap(u, w);
-        two_paths.push_back({u, mid, w});
-      }
-    }
-  };
-  result.round1 = RunSingleRound<Edge, NodeId>(graph.edges(), map1, reduce1,
-                                               nullptr, graph.num_nodes());
-
-  // ---- Round 2: join 2-paths with closing edges on the endpoint pair.
-  // Inputs of the round: all 2-paths plus all edges; model both as records.
-  struct Round2Input {
-    NodeId u;
-    NodeId w;
-    NodeId mid;
-    uint8_t is_edge;
-  };
-  std::vector<Round2Input> inputs;
-  inputs.reserve(two_paths.size() + graph.num_edges());
-  for (const auto& [u, mid, w] : two_paths) {
-    inputs.push_back({u, w, mid, 0});
-  }
-  for (const Edge& e : graph.edges()) {
-    const Edge oriented = order.Orient(e);
-    inputs.push_back({oriented.first, oriented.second, 0, 1});
-  }
-
-  const uint64_t n = graph.num_nodes();
-  auto map2 = [&, n](const Round2Input& input, Emitter<PathOrEdge>* out) {
-    out->Emit(static_cast<uint64_t>(input.u) * n + input.w,
-              PathOrEdge{input.mid, input.is_edge});
-  };
-  auto reduce2 = [&, n](uint64_t key, std::span<const PathOrEdge> values,
-                        ReduceContext* context) {
-    const NodeId u = static_cast<NodeId>(key / n);
-    const NodeId w = static_cast<NodeId>(key % n);
-    bool closing_edge = false;
-    for (const PathOrEdge& value : values) {
-      ++context->cost->edges_scanned;
-      if (value.is_edge) closing_edge = true;
-    }
-    if (!closing_edge) return;
-    for (const PathOrEdge& value : values) {
-      if (value.is_edge) continue;
-      ++context->cost->candidates;
-      // Triangle (mid, u, w) with mid the order-minimum: emit sorted.
-      const std::array<NodeId, 3> assignment = {value.mid, u, w};
-      context->EmitInstance(assignment);
-    }
-  };
-  result.round2 =
-      RunSingleRound<Round2Input, PathOrEdge>(inputs, map2, reduce2, sink,
-                                              n * n, policy);
+  result.job = driver.job();
+  result.round1 = result.job.rounds[0].metrics;
+  result.round2 = result.job.rounds[1].metrics;
   return result;
 }
 

@@ -7,16 +7,19 @@
 #include "graph/node_order.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 
 namespace smr {
 
 /// The *two-round* triangle algorithm of Suri & Vassilvitskii [19]
 /// ("MR Node-Iterator"), implemented as the baseline the paper's one-round
-/// algorithms are measured against:
+/// algorithms are measured against — and as the tree's canonical
+/// multi-round JobDriver pipeline:
 ///
 ///   Round 1 — key every edge by its order-minimum endpoint; the reducer
-///   for node v emits every properly ordered 2-path u - v - w.
+///   for node v emits every properly ordered 2-path u - v - w as an
+///   intermediate record.
 ///   Round 2 — key the 2-paths and the original edges by the unordered
 ///   endpoint pair {u, w}; a reducer seeing both a 2-path and the closing
 ///   edge emits the triangle.
@@ -27,16 +30,19 @@ namespace smr {
 struct TwoRoundMetrics {
   MapReduceMetrics round1;
   MapReduceMetrics round2;
+  /// The same two rounds as a JobMetrics summary (round table, totals).
+  JobMetrics job;
 
   uint64_t TotalKeyValuePairs() const {
     return round1.key_value_pairs + round2.key_value_pairs;
   }
 };
 
-/// Runs both rounds; emits each triangle exactly once (as the assignment
-/// sorted by `order`). Uses the nondecreasing-degree order by default so
-/// round 1's 2-path count is O(m^{3/2}). Round 1 always runs serially (its
-/// reducer appends to a shared 2-path list); `policy` parallelizes round 2.
+/// Runs both rounds through one JobDriver; emits each triangle exactly once
+/// (as the assignment sorted by `order`). Uses the nondecreasing-degree
+/// order so round 1's 2-path count is O(m^{3/2}). Both rounds run under
+/// `policy` — round 1's 2-paths flow through the engine's deterministic
+/// record channel, so results are identical for every thread count.
 TwoRoundMetrics TwoRoundTriangles(
     const Graph& graph, const NodeOrder& order, InstanceSink* sink,
     const ExecutionPolicy& policy = ExecutionPolicy::Serial());

@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "util/hashing.h"
 
 namespace smr {
@@ -39,7 +39,7 @@ std::vector<int> RoundShares(const std::vector<double>& shares) {
 MapReduceMetrics VariableOrientedEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
-    InstanceSink* sink, const ExecutionPolicy& policy) {
+    InstanceSink* sink, const ExecutionPolicy& policy, JobMetrics* job) {
   const int p = pattern.num_vars();
   if (static_cast<int>(shares.size()) != p) {
     throw std::invalid_argument("need one share per variable");
@@ -209,8 +209,12 @@ MapReduceMetrics VariableOrientedEnumerate(
     }
   };
 
-  return RunSingleRound<Edge, SlotTuple>(graph.edges(), map_fn, reduce_fn,
-                                         sink, key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<Edge, SlotTuple> round{"variable-oriented", map_fn,
+                                         reduce_fn, key_space, {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 }  // namespace smr

@@ -10,6 +10,7 @@
 #include "graph/sample_graph.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 
 namespace smr {
@@ -32,7 +33,8 @@ MapReduceMetrics VariableOrientedEnumerate(
     const SampleGraph& pattern, std::span<const ConjunctiveQuery> cqs,
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
     InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 /// Rounds the optimizer's fractional shares to integers >= 1 (nearest
 /// integer), the practical step the paper leaves implicit (its examples pick

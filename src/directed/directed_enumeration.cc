@@ -4,7 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "util/combinatorics.h"
 
 namespace smr {
@@ -135,7 +135,7 @@ uint64_t EnumerateDirectedInstances(const DirectedSampleGraph& pattern,
 MapReduceMetrics DirectedBucketOrientedEnumerate(
     const DirectedSampleGraph& pattern, const DirectedGraph& graph,
     int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy) {
+    const ExecutionPolicy& policy, JobMetrics* job) {
   // Materialize the lazily computed automorphism cache before the round:
   // the reducers call MatchDirected concurrently, and the cache fill is not
   // synchronized.
@@ -226,8 +226,12 @@ MapReduceMetrics DirectedBucketOrientedEnumerate(
     MatchDirected(pattern, local, nullptr, &filter, context->cost);
   };
 
-  return RunSingleRound<Arc, Arc>(graph.arcs(), map_fn, reduce_fn, sink,
-                                  key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<Arc, Arc> round{"directed-bucket", map_fn, reduce_fn,
+                                  key_space, {}};
+  const MapReduceMetrics metrics = driver.RunRound(round, graph.arcs(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 }  // namespace smr

@@ -6,6 +6,7 @@
 #include "directed/directed_graph.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 #include "util/cost_model.h"
 
@@ -32,7 +33,8 @@ uint64_t EnumerateDirectedInstances(const DirectedSampleGraph& pattern,
 MapReduceMetrics DirectedBucketOrientedEnumerate(
     const DirectedSampleGraph& pattern, const DirectedGraph& graph,
     int buckets, uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 }  // namespace smr
 

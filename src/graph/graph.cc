@@ -40,10 +40,6 @@ Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
     std::sort(adjacency_.begin() + static_cast<long>(offsets_[u]),
               adjacency_.begin() + static_cast<long>(offsets_[u + 1]));
   }
-  edge_index_.reserve(edges_.size() * 2);
-  for (const Edge& e : edges_) {
-    edge_index_.insert(PackPair(e.first, e.second));
-  }
 }
 
 }  // namespace smr

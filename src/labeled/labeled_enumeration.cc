@@ -8,7 +8,7 @@
 #include "cq/cq_evaluator.h"
 #include "graph/node_order.h"
 #include "graph/subgraph.h"
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "util/combinatorics.h"
 
 namespace smr {
@@ -153,7 +153,8 @@ uint64_t EnumerateLabeledInstances(const LabeledSampleGraph& pattern,
 
 MapReduceMetrics LabeledBucketOrientedEnumerate(
     const LabeledSampleGraph& pattern, const LabeledGraph& graph, int buckets,
-    uint64_t seed, InstanceSink* sink, const ExecutionPolicy& policy) {
+    uint64_t seed, InstanceSink* sink, const ExecutionPolicy& policy,
+    JobMetrics* job) {
   const int p = pattern.num_vars();
   if (!BinomialFitsUint64(buckets + p - 1, p)) {
     throw std::invalid_argument(
@@ -246,8 +247,13 @@ MapReduceMetrics LabeledBucketOrientedEnumerate(
     }
   };
 
-  return RunSingleRound<LabeledEdge, LabeledEdge>(
-      graph.labeled_edges(), map_fn, reduce_fn, sink, key_space, policy);
+  JobDriver driver(policy);
+  const RoundSpec<LabeledEdge, LabeledEdge> round{"labeled-bucket", map_fn,
+                                                  reduce_fn, key_space, {}};
+  const MapReduceMetrics metrics =
+      driver.RunRound(round, graph.labeled_edges(), sink);
+  if (job != nullptr) *job = driver.job();
+  return metrics;
 }
 
 }  // namespace smr

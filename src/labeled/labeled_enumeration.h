@@ -8,6 +8,7 @@
 #include "labeled/labeled_graph.h"
 #include "mapreduce/execution_policy.h"
 #include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
 #include "util/cost_model.h"
 
@@ -45,7 +46,8 @@ uint64_t EnumerateLabeledInstances(const LabeledSampleGraph& pattern,
 MapReduceMetrics LabeledBucketOrientedEnumerate(
     const LabeledSampleGraph& pattern, const LabeledGraph& graph, int buckets,
     uint64_t seed, InstanceSink* sink,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial());
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    JobMetrics* job = nullptr);
 
 }  // namespace smr
 

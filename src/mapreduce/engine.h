@@ -7,7 +7,10 @@
 #include <exception>
 #include <functional>
 #include <span>
+#include <string>
 #include <thread>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -18,13 +21,19 @@
 
 namespace smr {
 
-/// Execution substrate: a faithful simulator of one round of map-reduce
+/// Execution substrate: a faithful simulator of map-reduce rounds
 /// (map -> shuffle/group-by-key -> reduce), the model of [11] that the whole
 /// paper is expressed in. Keys are 64-bit reducer ids; values are an
 /// algorithm-chosen POD. The engine measures exactly the quantities the
 /// paper optimizes (Section 1.2): key-value pairs shipped (communication
 /// cost), distinct keys (reducers), skew, and the reducers' instrumented
 /// computation cost.
+///
+/// A round is *declared*, not hand-wired: a RoundSpec names the mapper, the
+/// reducer, the reducer key space, and (optionally) an associative map-side
+/// combiner. Rounds are run through a JobDriver (mapreduce/job.h), which
+/// chains them under one ExecutionPolicy and aggregates their metrics; the
+/// low-level RunRound entry point below is what the driver calls.
 ///
 /// The shuffle is fully deterministic in both modes: values arrive at each
 /// reducer in mapper emission order, reducers run in ascending key order.
@@ -51,7 +60,30 @@ namespace smr {
 /// the serial engine for every thread count, shuffle mode, and partition
 /// count. Map and reduce callbacks must therefore be re-entrant: they may
 /// mutate only their own locals and the ReduceContext/Emitter they are
-/// handed, never shared captured state.
+/// handed, never shared captured state. One narrow exception for reducers:
+/// because each distinct key is reduced exactly once per round, a reducer
+/// may write to a preallocated per-key slot of a shared structure (e.g.
+/// counts[key] = ...) — disjoint slots, one writer each, no race. Nothing
+/// finer: accumulating into any shared location reachable from two keys is
+/// a data race.
+///
+/// Combining. When a RoundSpec declares a combiner (and the policy does not
+/// disable it), each map worker pre-aggregates its own emissions in place:
+/// the first emission of a key appends a pair, later emissions of the same
+/// key fold into that pair via the combiner. After the shuffle each key's
+/// per-worker partials sit adjacent in worker order, and the engine folds
+/// them once more before invoking the reducer, which therefore receives
+/// exactly ONE combined value per key. Because map workers cover contiguous
+/// input slices in order, the two folds compose to a left fold over the
+/// full serial emission order — so for an *associative* combiner the
+/// reducer's input, the semantic metrics, and the sink emissions are
+/// byte-identical for every thread count, shuffle mode, and partition
+/// count, exactly as without a combiner. The logical communication cost
+/// (`key_value_pairs`, what the paper's model counts) is unchanged by
+/// combining; the physically shipped pair count is reported separately in
+/// `ShuffleStats::pairs_shipped` and shrinks with combining — per-worker
+/// pre-aggregation is host-scheduling-dependent, which is why it lives
+/// with the other host-side shuffle stats outside metrics equality.
 
 /// Routes a key to one of `partitions` contiguous, ascending key ranges.
 /// The mapping is monotone nondecreasing in the key — the invariant the
@@ -92,69 +124,153 @@ class KeyPartitioner {
 
 /// Collects the key-value pairs emitted by a mapper: either into one flat
 /// vector (serial / sort shuffle) or scattered across one bucket per
-/// destination partition (partitioned shuffle).
+/// destination partition (partitioned shuffle). With a combiner, repeated
+/// emissions of a key fold into the key's existing pair instead of
+/// appending (map-side pre-aggregation); `emitted()` still counts every
+/// logical emission, which is what the round's communication-cost metric
+/// reports.
 template <typename Value>
 class Emitter {
  public:
-  explicit Emitter(std::vector<std::pair<uint64_t, Value>>* out)
-      : out_(out) {}
+  using CombineFn = std::function<void(Value& acc, const Value& incoming)>;
+
+  explicit Emitter(std::vector<std::pair<uint64_t, Value>>* out,
+                   const CombineFn* combiner = nullptr)
+      : out_(out), combiner_(Usable(combiner)) {}
 
   Emitter(std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets,
-          const KeyPartitioner* partitioner)
-      : buckets_(buckets), partitioner_(partitioner) {}
+          const KeyPartitioner* partitioner,
+          const CombineFn* combiner = nullptr)
+      : buckets_(buckets),
+        partitioner_(partitioner),
+        combiner_(Usable(combiner)) {}
 
   void Emit(uint64_t key, const Value& value) {
-    if (out_ != nullptr) {
-      out_->emplace_back(key, value);
-    } else {
-      (*buckets_)[partitioner_->PartitionOf(key)].emplace_back(key, value);
+    ++emitted_;
+    auto& bucket =
+        out_ != nullptr ? *out_ : (*buckets_)[partitioner_->PartitionOf(key)];
+    if (combiner_ != nullptr) {
+      // A key lands in the same bucket every time, so the remembered index
+      // into that bucket stays valid across emissions.
+      const auto [slot, inserted] = slots_.try_emplace(key, bucket.size());
+      if (!inserted) {
+        (*combiner_)(bucket[slot->second].second, value);
+        return;
+      }
     }
+    bucket.emplace_back(key, value);
   }
 
+  /// Logical emissions seen, counting the ones the combiner absorbed.
+  uint64_t emitted() const { return emitted_; }
+
  private:
+  static const CombineFn* Usable(const CombineFn* combiner) {
+    return (combiner != nullptr && *combiner) ? combiner : nullptr;
+  }
+
   std::vector<std::pair<uint64_t, Value>>* out_ = nullptr;
   std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets_ = nullptr;
   const KeyPartitioner* partitioner_ = nullptr;
+  const CombineFn* combiner_ = nullptr;
+  std::unordered_map<uint64_t, size_t> slots_;
+  uint64_t emitted_ = 0;
 };
 
-/// Per-reducer context: instrumented cost and the output sink.
+/// Per-reducer context: instrumented cost, the round's output sink, and the
+/// intermediate-record channel of a multi-round job.
 struct ReduceContext {
   CostCounter* cost;
   InstanceSink* sink;
+  InstanceSink* records = nullptr;
   uint64_t outputs = 0;
 
+  /// Emits a final result instance of the job (counted in `outputs`).
   void EmitInstance(std::span<const NodeId> assignment) {
     ++outputs;
     ++cost->outputs;
     if (sink != nullptr) sink->Emit(assignment);
   }
+
+  /// Emits an intermediate record for the next round of a multi-round
+  /// pipeline (not a result: neither `outputs` nor the cost model counts
+  /// it). Records reach the round's record sink in the same deterministic
+  /// order as instance emissions — ascending key, emission order within a
+  /// key — so the next round's input order is policy-independent.
+  void EmitRecord(std::span<const NodeId> record) {
+    if (records != nullptr) records->Emit(record);
+  }
+};
+
+/// One declared map-reduce round over inputs of type `Input`, shuffling
+/// values of type `Value`. Strategies build these and hand them to a
+/// JobDriver; nothing outside src/mapreduce/ runs rounds by hand.
+template <typename Input, typename Value>
+struct RoundSpec {
+  /// Display name for the JobMetrics round table ("two-paths", "join", ...).
+  std::string name;
+
+  /// Applied to every input; emits key-value pairs.
+  std::function<void(const Input&, Emitter<Value>*)> mapper;
+
+  /// Invoked once per distinct key with all of the key's values, in
+  /// emission order (exactly one pre-folded value when a combiner ran).
+  std::function<void(uint64_t key, std::span<const Value>, ReduceContext*)>
+      reducer;
+
+  /// Size of the reducer id space the algorithm declared; besides being
+  /// copied into the metrics it steers the partitioned shuffle's key-range
+  /// split, so declare it accurately (or 0 for radix partitioning over raw
+  /// 64-bit keys).
+  uint64_t key_space = 0;
+
+  /// Optional map-side combiner folding `incoming` into `acc`. MUST be
+  /// associative over the emission order (sums, min/max, bitwise merges);
+  /// the reducer must compute the same result from combined values as from
+  /// the raw ones. Leave empty for rounds whose reducers need the raw
+  /// multiset (e.g. every edge copy).
+  std::function<void(Value& acc, const Value& incoming)> combiner;
 };
 
 namespace engine_internal {
 
 /// Reduces the already-sorted pairs in [begin, end) — which must be aligned
-/// to key boundaries — accumulating reduce-phase counters into `metrics` and
-/// instances into `sink`.
+/// to key boundaries — accumulating reduce-phase counters into `metrics`,
+/// instances into `sink`, and intermediate records into `records`. With a
+/// combiner, each key's adjacent partials are folded (in their stored
+/// order, which is worker order = serial emission order) into the single
+/// value the reducer sees.
 template <typename Value>
 void ReduceRange(
     const std::vector<std::pair<uint64_t, Value>>& pairs, size_t begin,
     size_t end,
     const std::function<void(uint64_t key, std::span<const Value>,
                              ReduceContext*)>& reduce_fn,
-    InstanceSink* sink, MapReduceMetrics* metrics) {
+    const std::function<void(Value&, const Value&)>* combiner,
+    InstanceSink* sink, InstanceSink* records, MapReduceMetrics* metrics) {
   std::vector<Value> group;
   size_t i = begin;
   while (i < end) {
     const uint64_t key = pairs[i].first;
     group.clear();
-    while (i < end && pairs[i].first == key) {
-      group.push_back(pairs[i].second);
+    if (combiner != nullptr) {
+      Value accumulated = pairs[i].second;
       ++i;
+      while (i < end && pairs[i].first == key) {
+        (*combiner)(accumulated, pairs[i].second);
+        ++i;
+      }
+      group.push_back(accumulated);
+    } else {
+      while (i < end && pairs[i].first == key) {
+        group.push_back(pairs[i].second);
+        ++i;
+      }
     }
     ++metrics->distinct_keys;
     metrics->max_reducer_input =
         std::max<uint64_t>(metrics->max_reducer_input, group.size());
-    ReduceContext context{&metrics->reduce_cost, sink, 0};
+    ReduceContext context{&metrics->reduce_cost, sink, records, 0};
     reduce_fn(key, std::span<const Value>(group), &context);
     metrics->outputs += context.outputs;
   }
@@ -210,28 +326,42 @@ void RunWorkers(size_t count, const Task& task) {
 
 }  // namespace engine_internal
 
-/// Runs one round. `map_fn` is applied to every input and emits key-value
-/// pairs; `reduce_fn` is invoked once per distinct key with all its values.
-/// `key_space` is the size of the reducer id space the algorithm declared;
-/// besides being copied into the metrics it steers the partitioned
-/// shuffle's key-range split, so strategies should declare it accurately
-/// (or pass 0 to get radix partitioning over the raw 64-bit keys).
+/// Runs one declared round. `sink` receives the reducers' final instances
+/// (EmitInstance), `records` the intermediate records (EmitRecord) a
+/// multi-round pipeline threads into its next round; either may be null.
 /// `policy` selects the host-side scheduling; results are identical for
-/// every thread count, shuffle mode, and partition count.
+/// every thread count, shuffle mode, and partition count. Prefer
+/// JobDriver::RunRound (mapreduce/job.h), which also aggregates JobMetrics.
 template <typename Input, typename Value>
-MapReduceMetrics RunSingleRound(
-    std::span<const Input> inputs,
-    const std::function<void(const Input&, Emitter<Value>*)>& map_fn,
-    const std::function<void(uint64_t key, std::span<const Value>,
-                             ReduceContext*)>& reduce_fn,
-    InstanceSink* sink, uint64_t key_space,
+MapReduceMetrics RunRound(
+    const RoundSpec<Input, Value>& spec,
+    // type_identity keeps the span out of deduction so callers can pass
+    // vectors (Input/Value are pinned by the spec).
+    std::span<const std::type_identity_t<Input>> inputs, InstanceSink* sink,
+    InstanceSink* records = nullptr,
     const ExecutionPolicy& policy = ExecutionPolicy::Serial()) {
   using Pair = std::pair<uint64_t, Value>;
+  using CombineFn = typename Emitter<Value>::CombineFn;
   MapReduceMetrics metrics;
   metrics.input_records = inputs.size();
-  metrics.key_space = key_space;
+  metrics.key_space = spec.key_space;
 
+  const CombineFn* combiner =
+      (policy.combine && spec.combiner) ? &spec.combiner : nullptr;
+  const auto& map_fn = spec.mapper;
+  const auto& reduce_fn = spec.reducer;
   const unsigned map_threads = policy.EffectiveThreads(inputs.size());
+
+  // Fills the map-phase counters: `logical` emissions are the round's
+  // communication cost in the paper's model; `shipped` is what the shuffle
+  // physically moved after map-side combining (equal without a combiner).
+  const auto count_map_phase = [&](uint64_t logical, uint64_t shipped) {
+    metrics.key_value_pairs = logical;
+    metrics.bytes = logical * (sizeof(uint64_t) + sizeof(Value));
+    metrics.shuffle.pairs_shipped = shipped;
+    metrics.shuffle.shuffle_bytes =
+        shipped * (sizeof(uint64_t) + sizeof(Value));
+  };
 
   // ---------------------------------------------------------------- sort
   // Sort shuffle (and every single-threaded round — the reference
@@ -241,20 +371,24 @@ MapReduceMetrics RunSingleRound(
     // pair vector; concatenating the slices in order reproduces the serial
     // emission order exactly.
     std::vector<Pair> pairs;
+    uint64_t logical_pairs = 0;
     if (map_threads <= 1) {
-      Emitter<Value> emitter(&pairs);
+      Emitter<Value> emitter(&pairs, combiner);
       for (const Input& input : inputs) {
         map_fn(input, &emitter);
       }
+      logical_pairs = emitter.emitted();
     } else {
       const std::vector<size_t> bounds =
           engine_internal::SliceBoundaries(inputs.size(), map_threads);
       std::vector<std::vector<Pair>> slices(map_threads);
+      std::vector<uint64_t> slice_logical(map_threads, 0);
       engine_internal::RunWorkers(map_threads, [&](size_t t) {
-        Emitter<Value> emitter(&slices[t]);
+        Emitter<Value> emitter(&slices[t], combiner);
         for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
           map_fn(inputs[i], &emitter);
         }
+        slice_logical[t] = emitter.emitted();
       });
       size_t total = 0;
       for (const auto& slice : slices) total += slice.size();
@@ -262,10 +396,9 @@ MapReduceMetrics RunSingleRound(
       for (auto& slice : slices) {
         std::move(slice.begin(), slice.end(), std::back_inserter(pairs));
       }
+      for (const uint64_t n : slice_logical) logical_pairs += n;
     }
-    metrics.key_value_pairs = pairs.size();
-    metrics.bytes = pairs.size() * (sizeof(uint64_t) + sizeof(Value));
-    metrics.shuffle.shuffle_bytes = metrics.bytes;
+    count_map_phase(logical_pairs, pairs.size());
 
     // Shuffle: group by key, preserving emission order within a key.
     std::stable_sort(
@@ -275,8 +408,8 @@ MapReduceMetrics RunSingleRound(
     // Reduce phase.
     const unsigned reduce_threads = policy.EffectiveThreads(pairs.size());
     if (reduce_threads <= 1) {
-      engine_internal::ReduceRange(pairs, 0, pairs.size(), reduce_fn, sink,
-                                   &metrics);
+      engine_internal::ReduceRange(pairs, 0, pairs.size(), reduce_fn,
+                                   combiner, sink, records, &metrics);
       return metrics;
     }
 
@@ -302,21 +435,26 @@ MapReduceMetrics RunSingleRound(
     const size_t chunks = starts.size() - 1;
     // Counting sinks don't need their emissions buffered and replayed — the
     // shard output totals suffice — so workers run sink-less and the counts
-    // are folded in afterwards.
+    // are folded in afterwards. Records are always buffered: their contents
+    // feed the next round.
     const bool counts_only = sink != nullptr && sink->CountsOnly();
     const bool buffered = sink != nullptr && !counts_only;
     std::vector<MapReduceMetrics> shard_metrics(chunks);
     std::vector<BufferingSink> shard_sinks(buffered ? chunks : 0);
+    std::vector<BufferingSink> shard_records(records != nullptr ? chunks : 0);
     engine_internal::RunWorkers(chunks, [&](size_t c) {
       engine_internal::ReduceRange(
-          pairs, starts[c], starts[c + 1], reduce_fn,
+          pairs, starts[c], starts[c + 1], reduce_fn, combiner,
           buffered ? static_cast<InstanceSink*>(&shard_sinks[c]) : nullptr,
+          records != nullptr ? static_cast<InstanceSink*>(&shard_records[c])
+                             : nullptr,
           &shard_metrics[c]);
     });
 
     for (size_t c = 0; c < chunks; ++c) {
       metrics.MergeReduceShard(shard_metrics[c]);
       if (buffered) shard_sinks[c].FlushTo(sink);
+      if (records != nullptr) shard_records[c].FlushTo(records);
     }
     if (counts_only) sink->EmitCount(metrics.outputs);
     return metrics;
@@ -324,7 +462,7 @@ MapReduceMetrics RunSingleRound(
 
   // --------------------------------------------------------- partitioned
   const unsigned partitions = policy.EffectivePartitions();
-  const KeyPartitioner partitioner(partitions, key_space);
+  const KeyPartitioner partitioner(partitions, spec.key_space);
   metrics.shuffle.partitions = partitions;
 
   // Map phase: worker t scatters its slice's emissions into
@@ -334,24 +472,26 @@ MapReduceMetrics RunSingleRound(
       engine_internal::SliceBoundaries(inputs.size(), map_threads);
   std::vector<std::vector<std::vector<Pair>>> scatter(
       map_threads, std::vector<std::vector<Pair>>(partitions));
+  std::vector<uint64_t> worker_logical(map_threads, 0);
   engine_internal::RunWorkers(map_threads, [&](size_t t) {
-    Emitter<Value> emitter(&scatter[t], &partitioner);
+    Emitter<Value> emitter(&scatter[t], &partitioner, combiner);
     for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
       map_fn(inputs[i], &emitter);
     }
+    worker_logical[t] = emitter.emitted();
   });
 
   std::vector<size_t> partition_pairs(partitions, 0);
   size_t total_pairs = 0;
+  uint64_t logical_pairs = 0;
   for (unsigned p = 0; p < partitions; ++p) {
     for (unsigned t = 0; t < map_threads; ++t) {
       partition_pairs[p] += scatter[t][p].size();
     }
     total_pairs += partition_pairs[p];
   }
-  metrics.key_value_pairs = total_pairs;
-  metrics.bytes = total_pairs * (sizeof(uint64_t) + sizeof(Value));
-  metrics.shuffle.shuffle_bytes = metrics.bytes;
+  for (const uint64_t n : worker_logical) logical_pairs += n;
+  count_map_phase(logical_pairs, total_pairs);
 
   // Reduce phase: workers drain partitions from a dynamic queue. Each
   // partition is concatenated in worker order (restoring the serial
@@ -361,6 +501,8 @@ MapReduceMetrics RunSingleRound(
   const bool buffered = sink != nullptr && !counts_only;
   std::vector<MapReduceMetrics> partition_metrics(partitions);
   std::vector<BufferingSink> partition_sinks(buffered ? partitions : 0);
+  std::vector<BufferingSink> partition_records(records != nullptr ? partitions
+                                                                  : 0);
   const unsigned reduce_threads =
       std::min(policy.EffectiveThreads(total_pairs), partitions);
   std::atomic<unsigned> next_partition{0};
@@ -380,8 +522,10 @@ MapReduceMetrics RunSingleRound(
           local.begin(), local.end(),
           [](const auto& a, const auto& b) { return a.first < b.first; });
       engine_internal::ReduceRange(
-          local, 0, local.size(), reduce_fn,
+          local, 0, local.size(), reduce_fn, combiner,
           buffered ? static_cast<InstanceSink*>(&partition_sinks[p]) : nullptr,
+          records != nullptr ? static_cast<InstanceSink*>(&partition_records[p])
+                             : nullptr,
           &partition_metrics[p]);
     }
   });
@@ -392,6 +536,7 @@ MapReduceMetrics RunSingleRound(
   for (unsigned p = 0; p < partitions; ++p) {
     metrics.MergePartitionShard(partition_metrics[p], partition_pairs[p]);
     if (buffered) partition_sinks[p].FlushTo(sink);
+    if (records != nullptr) partition_records[p].FlushTo(records);
   }
   if (counts_only) sink->EmitCount(metrics.outputs);
   return metrics;

@@ -43,6 +43,13 @@ struct ExecutionPolicy {
   /// workers busy even when key ranges are skewed.
   unsigned shuffle_partitions = 0;
 
+  /// Map-side combining: when a RoundSpec declares an associative
+  /// combiner, apply it (per-worker pre-aggregation plus the reduce-side
+  /// fold — see engine.h). Turning this off ships every raw emission, for
+  /// A/B measurement of the combiner's shuffle-volume savings; semantic
+  /// results are identical either way.
+  bool combine = true;
+
   static ExecutionPolicy Serial() { return ExecutionPolicy{1}; }
 
   static ExecutionPolicy WithThreads(unsigned n) {
@@ -66,6 +73,12 @@ struct ExecutionPolicy {
   ExecutionPolicy WithPartitions(unsigned partitions) const {
     ExecutionPolicy policy = *this;
     policy.shuffle_partitions = partitions;
+    return policy;
+  }
+
+  ExecutionPolicy WithCombine(bool on) const {
+    ExecutionPolicy policy = *this;
+    policy.combine = on;
     return policy;
   }
 

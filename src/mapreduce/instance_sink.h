@@ -2,6 +2,7 @@
 #define SMR_MAPREDUCE_INSTANCE_SINK_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -74,6 +75,38 @@ class BufferingSink : public InstanceSink {
  private:
   std::vector<NodeId> nodes_;
   std::vector<uint32_t> sizes_;
+};
+
+/// Flat buffer of fixed-arity records: the intermediate channel a
+/// JobDriver pipeline threads between rounds. A round's reducers
+/// EmitRecord() into one of these (the engine replays records in the same
+/// deterministic order as instances), and the next round maps over
+/// `operator[]` views — or over the flat `nodes()` span when each node of
+/// a record is an input in its own right.
+class RecordBuffer : public InstanceSink {
+ public:
+  explicit RecordBuffer(size_t arity) : arity_(arity) {}
+
+  void Emit(std::span<const NodeId> record) override {
+    // A wrong-arity record would silently shift the framing of every
+    // record after it.
+    assert(record.size() == arity_);
+    nodes_.insert(nodes_.end(), record.begin(), record.end());
+  }
+
+  size_t size() const { return nodes_.size() / arity_; }
+  size_t arity() const { return arity_; }
+
+  std::span<const NodeId> operator[](size_t i) const {
+    return {nodes_.data() + i * arity_, arity_};
+  }
+
+  /// All records, concatenated.
+  std::span<const NodeId> nodes() const { return nodes_; }
+
+ private:
+  size_t arity_;
+  std::vector<NodeId> nodes_;
 };
 
 /// Stores every emitted assignment (test mode).

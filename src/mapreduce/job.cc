@@ -1,0 +1,77 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace smr {
+
+uint64_t JobMetrics::TotalCommunication() const {
+  uint64_t total = 0;
+  for (const JobRoundMetrics& round : rounds) {
+    total += round.metrics.key_value_pairs;
+  }
+  return total;
+}
+
+uint64_t JobMetrics::TotalPairsShipped() const {
+  uint64_t total = 0;
+  for (const JobRoundMetrics& round : rounds) {
+    total += round.metrics.shuffle.pairs_shipped;
+  }
+  return total;
+}
+
+uint64_t JobMetrics::MaxRoundReducers() const {
+  uint64_t widest = 0;
+  for (const JobRoundMetrics& round : rounds) {
+    widest = std::max(widest, round.metrics.distinct_keys);
+  }
+  return widest;
+}
+
+uint64_t JobMetrics::TotalOutputs() const {
+  uint64_t total = 0;
+  for (const JobRoundMetrics& round : rounds) {
+    total += round.metrics.outputs;
+  }
+  return total;
+}
+
+std::string JobMetrics::RoundTable() const {
+  char line[160];
+  std::string table;
+  std::snprintf(line, sizeof(line), "%-4s %-18s %12s %12s %10s %8s %10s\n",
+                "rnd", "name", "comm(pairs)", "shipped", "reducers", "max-in",
+                "outputs");
+  table += line;
+  for (size_t r = 0; r < rounds.size(); ++r) {
+    const MapReduceMetrics& m = rounds[r].metrics;
+    std::snprintf(line, sizeof(line),
+                  "%-4zu %-18s %12" PRIu64 " %12" PRIu64 " %10" PRIu64
+                  " %8" PRIu64 " %10" PRIu64 "\n",
+                  r + 1, rounds[r].name.c_str(), m.key_value_pairs,
+                  m.shuffle.pairs_shipped, m.distinct_keys,
+                  m.max_reducer_input, m.outputs);
+    table += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%-4s %-18s %12" PRIu64 " %12" PRIu64 " %10" PRIu64 " %8s"
+                " %10" PRIu64 "\n",
+                "", "total", TotalCommunication(), TotalPairsShipped(),
+                MaxRoundReducers(), "-", TotalOutputs());
+  table += line;
+  return table;
+}
+
+std::string JobMetrics::ToString() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "rounds=%zu comm=%" PRIu64 " shipped=%" PRIu64
+                " max_round_reducers=%" PRIu64 " outputs=%" PRIu64,
+                rounds.size(), TotalCommunication(), TotalPairsShipped(),
+                MaxRoundReducers(), TotalOutputs());
+  return buffer;
+}
+
+}  // namespace smr

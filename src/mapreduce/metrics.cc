@@ -18,9 +18,13 @@ std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
      << " max_reducer_input=" << m.max_reducer_input
      << " skew=" << m.SkewRatio() << " reduce_ops=" << m.reduce_cost.Total()
      << " outputs=" << m.outputs;
+  if (m.shuffle.pairs_shipped != m.key_value_pairs) {
+    os << " shipped=" << m.shuffle.pairs_shipped;
+  }
   if (m.shuffle.partitions > 0) {
     os << " shuffle_partitions=" << m.shuffle.partitions
-       << " partition_skew=" << m.shuffle.PartitionSkew(m.key_value_pairs);
+       << " partition_skew="
+       << m.shuffle.PartitionSkew(m.shuffle.pairs_shipped);
   }
   return os;
 }

@@ -29,7 +29,13 @@ struct ShuffleStats {
   uint64_t partitions = 0;
   /// Key-value pairs in the heaviest partition (shuffle-level skew).
   uint64_t max_partition_pairs = 0;
-  /// Bytes scattered through the shuffle (keys + values).
+  /// Key-value pairs the shuffle physically moved after map-side
+  /// combining — equal to the round's `key_value_pairs` when no combiner
+  /// ran. Each map worker pre-aggregates only its own emissions, so this
+  /// depends on the worker count; that host-scheduling dependence is why
+  /// it lives here rather than in the semantic metrics.
+  uint64_t pairs_shipped = 0;
+  /// Bytes scattered through the shuffle (keys + values, post-combine).
   uint64_t shuffle_bytes = 0;
 
   /// Max partition load over mean partition load; 1.0 is perfectly

@@ -1,7 +1,7 @@
-// Determinism tests for the parallel engine: RunSingleRound and every
-// map-reduce strategy built on it must produce byte-identical metrics and
-// identical instances — in the same emission order — for 1, 2, and 8
-// threads.
+// Determinism tests for the parallel engine: a declared round run through
+// JobDriver, and every map-reduce strategy built on the engine, must
+// produce byte-identical metrics and identical instances — in the same
+// emission order — for 1, 2, and 8 threads.
 
 #include <cstdint>
 #include <set>
@@ -18,7 +18,7 @@
 #include "graph/generators.h"
 #include "graph/sample_graph.h"
 #include "labeled/labeled_enumeration.h"
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
 
@@ -32,6 +32,18 @@ const unsigned kThreadCounts[] = {1, 2, 8};
 // count.
 const ShuffleMode kShuffleModes[] = {ShuffleMode::kSort,
                                      ShuffleMode::kPartitioned};
+
+/// Runs one int round under `policy` through the declarative API.
+template <typename Map, typename Reduce>
+MapReduceMetrics RunIntRound(const std::vector<int>& inputs, Map map_fn,
+                             Reduce reduce_fn, InstanceSink* sink,
+                             uint64_t key_space,
+                             const ExecutionPolicy& policy) {
+  JobDriver driver(policy);
+  return driver.RunRound(RoundSpec<int, int>{"test", map_fn, reduce_fn,
+                                             key_space, {}},
+                         inputs, sink);
+}
 
 DirectedGraph RandomDigraph(NodeId n, size_t m, uint64_t seed) {
   Rng rng(seed);
@@ -69,14 +81,14 @@ TEST(EngineParallel, RawRoundIdenticalAcrossThreadCounts) {
   };
 
   CollectingSink serial_sink;
-  const MapReduceMetrics serial = RunSingleRound<int, int>(
+  const MapReduceMetrics serial = RunIntRound(
       inputs, map_fn, reduce_fn, &serial_sink, 7, ExecutionPolicy::Serial());
   ASSERT_GT(serial.outputs, 0u);
 
   for (const unsigned threads : kThreadCounts) {
     for (const ShuffleMode mode : kShuffleModes) {
       CollectingSink sink;
-      const MapReduceMetrics metrics = RunSingleRound<int, int>(
+      const MapReduceMetrics metrics = RunIntRound(
           inputs, map_fn, reduce_fn, &sink, 7,
           ExecutionPolicy::WithThreads(threads).WithShuffle(mode));
       EXPECT_EQ(metrics, serial) << "threads=" << threads;
@@ -96,9 +108,9 @@ TEST(EngineParallel, MoreThreadsThanKeysOrInputs) {
                       ReduceContext* context) {
     context->cost->candidates += values.size();
   };
-  const MapReduceMetrics serial = RunSingleRound<int, int>(
+  const MapReduceMetrics serial = RunIntRound(
       inputs, map_fn, reduce_fn, nullptr, 1, ExecutionPolicy::Serial());
-  const MapReduceMetrics wide = RunSingleRound<int, int>(
+  const MapReduceMetrics wide = RunIntRound(
       inputs, map_fn, reduce_fn, nullptr, 1, ExecutionPolicy::WithThreads(64));
   EXPECT_EQ(wide, serial);
   EXPECT_EQ(wide.distinct_keys, 1u);
@@ -110,8 +122,8 @@ TEST(EngineParallel, EmptyInputAllThreadCounts) {
   auto reduce_fn = [](uint64_t, std::span<const int>, ReduceContext*) {};
   for (const unsigned threads : kThreadCounts) {
     const MapReduceMetrics metrics =
-        RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 9,
-                                 ExecutionPolicy::WithThreads(threads));
+        RunIntRound(inputs, map_fn, reduce_fn, nullptr, 9,
+                    ExecutionPolicy::WithThreads(threads));
     EXPECT_EQ(metrics.key_value_pairs, 0u);
     EXPECT_EQ(metrics.distinct_keys, 0u);
     EXPECT_EQ(metrics.key_space, 9u);
@@ -271,8 +283,8 @@ TEST(EngineParallel, CallbackExceptionsPropagateAtEveryThreadCount) {
   };
   for (const unsigned threads : kThreadCounts) {
     const auto run = [&] {
-      RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 10,
-                               ExecutionPolicy::WithThreads(threads));
+      RunIntRound(inputs, map_fn, reduce_fn, nullptr, 10,
+                  ExecutionPolicy::WithThreads(threads));
     };
     EXPECT_THROW(run(), std::runtime_error) << "threads=" << threads;
   }

@@ -15,7 +15,7 @@
 
 #include <gtest/gtest.h>
 
-#include "mapreduce/engine.h"
+#include "mapreduce/job.h"
 #include "util/hashing.h"
 #include "util/rng.h"
 
@@ -27,21 +27,22 @@ const unsigned kPartitionCounts[] = {0 /* auto */, 1, 3, 64};
 
 /// One randomized round: inputs are ints, and the map/reduce callbacks are
 /// pure functions of (input, spec) so every engine sees the same round.
-struct RoundSpec {
+/// (Named FuzzRound: RoundSpec is the engine's declarative descriptor.)
+struct FuzzRound {
   uint64_t seed = 0;
   uint64_t key_space = 0;  // 0 = undeclared (radix partitioning).
   size_t num_inputs = 0;
   bool emit_stray_keys = false;  // Occasionally key >= key_space.
 };
 
-std::vector<int> MakeInputs(const RoundSpec& spec) {
+std::vector<int> MakeInputs(const FuzzRound& spec) {
   std::vector<int> inputs(spec.num_inputs);
   Rng rng(spec.seed);
   for (int& value : inputs) value = static_cast<int>(rng.Below(1 << 20));
   return inputs;
 }
 
-uint64_t KeyFor(const RoundSpec& spec, int input, int emission) {
+uint64_t KeyFor(const FuzzRound& spec, int input, int emission) {
   const uint64_t h =
       SplitMix64(static_cast<uint64_t>(input) * 1315423911u + emission +
                  spec.seed);
@@ -58,7 +59,7 @@ uint64_t KeyFor(const RoundSpec& spec, int input, int emission) {
   return h % spec.key_space;
 }
 
-MapReduceMetrics RunSpec(const RoundSpec& spec, const std::vector<int>& inputs,
+MapReduceMetrics RunSpec(const FuzzRound& spec, const std::vector<int>& inputs,
                          InstanceSink* sink, const ExecutionPolicy& policy) {
   auto map_fn = [spec](const int& input, Emitter<int>* out) {
     const unsigned emissions =
@@ -78,8 +79,10 @@ MapReduceMetrics RunSpec(const RoundSpec& spec, const std::vector<int>& inputs,
       }
     }
   };
-  return RunSingleRound<int, int>(inputs, map_fn, reduce_fn, sink,
-                                  spec.key_space, policy);
+  JobDriver driver(policy);
+  return driver.RunRound(RoundSpec<int, int>{"fuzz", map_fn, reduce_fn,
+                                             spec.key_space, {}},
+                         inputs, sink);
 }
 
 std::vector<ExecutionPolicy> AllPolicies() {
@@ -103,10 +106,10 @@ std::string Describe(const ExecutionPolicy& policy) {
 }
 
 TEST(EngineShuffleFuzz, AllEnginesAgreeOnRandomRounds) {
-  std::vector<RoundSpec> specs;
+  std::vector<FuzzRound> specs;
   Rng rng(0xf00d);
   for (uint64_t trial = 0; trial < 12; ++trial) {
-    RoundSpec spec;
+    FuzzRound spec;
     spec.seed = rng.Next();
     const uint64_t key_spaces[] = {0,    1,      7,
                                    1000, 100000, uint64_t{1} << 62};
@@ -116,10 +119,10 @@ TEST(EngineShuffleFuzz, AllEnginesAgreeOnRandomRounds) {
     specs.push_back(spec);
   }
   // Degenerate rounds stay in the matrix too.
-  specs.push_back(RoundSpec{1, 10, 0, false});   // No inputs.
-  specs.push_back(RoundSpec{2, 1, 300, false});  // Single reducer.
+  specs.push_back(FuzzRound{1, 10, 0, false});   // No inputs.
+  specs.push_back(FuzzRound{2, 1, 300, false});  // Single reducer.
 
-  for (const RoundSpec& spec : specs) {
+  for (const FuzzRound& spec : specs) {
     const std::vector<int> inputs = MakeInputs(spec);
     CollectingSink reference_sink;
     const MapReduceMetrics reference =
@@ -137,7 +140,7 @@ TEST(EngineShuffleFuzz, AllEnginesAgreeOnRandomRounds) {
 }
 
 TEST(EngineShuffleFuzz, CountingSinkPathMatchesBufferedPath) {
-  RoundSpec spec;
+  FuzzRound spec;
   spec.seed = 0xc0de;
   spec.key_space = 5000;
   spec.num_inputs = 600;
@@ -167,7 +170,10 @@ TEST(EngineShuffleFuzz, ReducerExceptionsSurfaceUnderEveryEngine) {
   };
   for (const ExecutionPolicy& policy : AllPolicies()) {
     const auto run = [&] {
-      RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 23, policy);
+      JobDriver driver(policy);
+      driver.RunRound(RoundSpec<int, int>{"throwing-reduce", map_fn,
+                                          reduce_fn, 23, {}},
+                      inputs, nullptr);
     };
     EXPECT_THROW(run(), std::runtime_error) << Describe(policy);
   }
@@ -183,8 +189,10 @@ TEST(EngineShuffleFuzz, MapperExceptionsSurfaceUnderEveryEngine) {
   auto reduce_fn = [](uint64_t, std::span<const int>, ReduceContext*) {};
   for (const ExecutionPolicy& policy : AllPolicies()) {
     const auto run = [&] {
-      RunSingleRound<int, int>(inputs, map_fn, reduce_fn, nullptr, 100,
-                               policy);
+      JobDriver driver(policy);
+      driver.RunRound(RoundSpec<int, int>{"throwing-map", map_fn, reduce_fn,
+                                          100, {}},
+                      inputs, nullptr);
     };
     EXPECT_THROW(run(), std::runtime_error) << Describe(policy);
   }
