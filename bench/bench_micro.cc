@@ -2,9 +2,12 @@
 // probes, serial triangle enumeration, the CQ evaluator, the bucket-oriented
 // map-reduce round, and the share optimizer.
 
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
 #include "core/subgraph_enumerator.h"
+#include "mapreduce/thread_pool.h"
 #include "cq/cq_evaluator.h"
 #include "cq/cq_generation.h"
 #include "graph/generators.h"
@@ -76,9 +79,12 @@ BENCHMARK(BM_GraphConstruction);
 
 /// Isolates the engine's shuffle: a round with trivial map/reduce work so
 /// that grouping 4M key-value pairs dominates. Arg 0 selects the shuffle
-/// (0 = sort, 1 = partitioned) under ExecutionPolicy::MaxParallel(); on a
-/// multi-core host the gap between the two rows is the cost of the sort
-/// shuffle's serial O(C log C) barrier.
+/// (0 = sort, 1 = partitioned), arg 1 the partitioned shuffle's grouping
+/// (0 = stable_sort, 1 = counting scatter — the keys are dense in a
+/// declared 2^16 key space, the counting path's home turf), under
+/// ExecutionPolicy::MaxParallel(). The sort-vs-partitioned gap is the cost
+/// of the sort shuffle's serial O(C log C) barrier; the sort-group vs
+/// counting gap is the per-partition O(n log n) -> O(n) grouping win.
 void BM_EngineShuffle(benchmark::State& state) {
   const size_t n = 1 << 20;
   std::vector<int> inputs(n);
@@ -100,7 +106,9 @@ void BM_EngineShuffle(benchmark::State& state) {
       ExecutionPolicy::WithThreads(
           std::max(2u, ExecutionPolicy::MaxParallel().num_threads))
           .WithShuffle(state.range(0) == 0 ? ShuffleMode::kSort
-                                           : ShuffleMode::kPartitioned);
+                                           : ShuffleMode::kPartitioned)
+          .WithGroup(state.range(1) == 0 ? GroupMode::kSort
+                                         : GroupMode::kCounting);
   const RoundSpec<int, int> round{"shuffle-bench", map_fn, reduce_fn,
                                   key_space, {}};
   for (auto _ : state) {
@@ -109,7 +117,33 @@ void BM_EngineShuffle(benchmark::State& state) {
         driver.RunRound(round, inputs, nullptr).distinct_keys);
   }
 }
-BENCHMARK(BM_EngineShuffle)->Arg(0)->Arg(1);
+BENCHMARK(BM_EngineShuffle)
+    ->ArgNames({"partitioned", "counting"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+/// Latency of waking the persistent pool for one parallel phase (the
+/// per-phase overhead a multi-round job pays after its first phase
+/// spawned the threads), vs spawning and joining fresh std::threads the
+/// way the engine did before the pool existed.
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool;
+  pool.Run(4, [](size_t) {});  // Warm up: spawn outside the timed loop.
+  for (auto _ : state) {
+    pool.Run(4, [](size_t) {});
+  }
+}
+BENCHMARK(BM_ThreadPoolDispatch);
+
+void BM_ThreadSpawnDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    std::thread workers[3];
+    for (auto& worker : workers) worker = std::thread([] {});
+    for (auto& worker : workers) worker.join();
+  }
+}
+BENCHMARK(BM_ThreadSpawnDispatch);
 
 }  // namespace
 }  // namespace smr

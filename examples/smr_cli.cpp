@@ -19,6 +19,12 @@
 //   --shuffle   partition[:P] (default; P = partition count, default auto)
 //               | sort (the single-global-sort reference shuffle).
 //               Results are identical for every mode and partition count.
+//   --group     auto (default) | counting | sort: how the partitioned
+//               shuffle groups each partition — auto takes the O(n)
+//               counting scatter on dense key ranges and falls back to
+//               stable_sort on sparse ones; counting forces the scatter
+//               wherever representable; sort is the reference grouping.
+//               Results are identical for every mode.
 //   --combine   on (default) | off: apply declared map-side combiners.
 //               Results are identical either way; the round table's
 //               'shipped' column shows the savings.
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> input_spec;
   std::string strategy = "bucket:8";
   std::string shuffle = "partition";
+  std::string group = "auto";
   std::string combine = "on";
   uint64_t seed = 1;
   int threads = 1;
@@ -144,6 +151,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--shuffle") {
       shuffle = next();
+    } else if (arg == "--group") {
+      group = next();
     } else if (arg == "--combine") {
       combine = next();
     } else if (arg == "--stats") {
@@ -191,6 +200,15 @@ int main(int argc, char** argv) {
   } else {
     Usage("--shuffle must be sort or partition[:P]");
   }
+  if (group == "sort") {
+    policy = policy.WithGroup(smr::GroupMode::kSort);
+  } else if (group == "counting") {
+    policy = policy.WithGroup(smr::GroupMode::kCounting);
+  } else if (group == "auto") {
+    policy = policy.WithGroup(smr::GroupMode::kAuto);
+  } else {
+    Usage("--group must be sort, counting, or auto");
+  }
   if (combine == "off") {
     policy = policy.WithCombine(false);
   } else if (combine != "on") {
@@ -204,12 +222,14 @@ int main(int argc, char** argv) {
       std::printf("engine:  --threads ignored by the serial strategy\n");
     } else {
       std::printf(
-          "engine:  %u worker threads, %s shuffle (%u partitions)\n",
+          "engine:  %u worker threads, %s shuffle (%u partitions, "
+          "%s grouping)\n",
           policy.num_threads,
           policy.shuffle == smr::ShuffleMode::kSort ? "sort" : "partitioned",
           policy.shuffle == smr::ShuffleMode::kSort
               ? 0u
-              : policy.EffectivePartitions());
+              : policy.EffectivePartitions(),
+          group.c_str());
     }
   }
   uint64_t found = 0;

@@ -111,8 +111,11 @@ MapReduceMetrics BucketOrientedEnumerate(
 
   JobDriver driver(policy);
   // No combiner: the reducers need every edge copy of their local subgraph.
+  // Each edge ships exactly one pair per padding (the paper's replication
+  // rate C(b+p-3, p-2)), so the engine can presize its scatter buckets.
   const RoundSpec<Edge, Edge> round{"bucket-oriented", map_fn, reduce_fn,
-                                    key_space, {}};
+                                    key_space, {},
+                                    static_cast<double>(paddings.size())};
   const MapReduceMetrics metrics = driver.RunRound(round, graph.edges(), sink);
   if (job != nullptr) *job = driver.job();
   return metrics;

@@ -51,7 +51,8 @@ TriangleCensusResult TriangleCensus(const Graph& graph, const NodeOrder& order,
         context->EmitInstance(std::span<const NodeId>(&node, 1));
       },
       graph.num_nodes(),
-      [](uint64_t& acc, const uint64_t& incoming) { acc += incoming; }};
+      [](uint64_t& acc, const uint64_t& incoming) { acc += incoming; },
+      /*emissions_per_input=*/1.0};
   driver.RunRound(count_round, triangles.nodes(), nullptr);
 
   result.job = driver.job();

@@ -66,7 +66,8 @@ inline RoundSpec<Edge, NodeId> TwoPathsRound(const Graph& graph,
         }
       },
       graph.num_nodes(),
-      {}};
+      {},
+      /*emissions_per_input=*/1.0};  // Exactly one pair per edge.
 }
 
 /// Round 2's inputs: the 2-path records of round 1 plus every oriented
@@ -120,7 +121,8 @@ inline RoundSpec<JoinInput, PathOrEdge> JoinRound(const Graph& graph,
         }
       },
       n * n,
-      {}};
+      {},
+      /*emissions_per_input=*/1.0};  // Exactly one pair per join input.
 }
 
 }  // namespace two_path_rounds

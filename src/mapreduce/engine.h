@@ -8,16 +8,17 @@
 #include <functional>
 #include <span>
 #include <string>
-#include <thread>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "mapreduce/execution_policy.h"
+#include "mapreduce/group_by_key.h"
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/metrics.h"
+#include "mapreduce/thread_pool.h"
 #include "util/cost_model.h"
+#include "util/flat_map.h"
 
 namespace smr {
 
@@ -44,14 +45,23 @@ namespace smr {
 ///  * ShuffleMode::kPartitioned: each map worker scatters its emissions
 ///    into P per-worker key-range buckets (partition = the key's position
 ///    in [0, key_space), falling back to the key's high bits when
-///    key_space is 0). Each partition is then independently concatenated
-///    in worker order, stable-sorted, and reduced, with partitions drained
-///    from a dynamic queue. Concatenating a partition's per-worker buckets
-///    in worker order reproduces the serial emission order within the
-///    partition, and partitions cover ascending disjoint key ranges, so
-///    merging the per-partition results in partition order replays the
-///    serial round exactly — with no global barrier vector and no serial
-///    sort.
+///    key_space is 0). Each partition is then independently grouped by key
+///    and reduced, with partitions drained from a dynamic queue. Grouping
+///    visits a partition's per-worker buckets in worker order (the serial
+///    emission order of its key range) and is either a stable_sort of the
+///    concatenation or — when the partition's key range is dense, the
+///    normal case since strategies declare dense reducer ranks — an O(n)
+///    counting scatter (GroupMode in the policy; see group_by_key.h).
+///    Both groupings are stable, and partitions cover ascending disjoint
+///    key ranges, so merging the per-partition results in partition order
+///    replays the serial round exactly — with no global barrier vector and
+///    no serial sort.
+///
+/// Parallel phases dispatch through the policy's persistent ThreadPool
+/// (mapreduce/thread_pool.h): threads are spawned on the first parallel
+/// phase and parked between phases, so a multi-round job pays thread setup
+/// once, not per phase per round. ShuffleStats records the per-round
+/// spawn/reuse split.
 ///
 /// With an ExecutionPolicy of more than one thread, mappers run on
 /// contiguous input slices and reducers on contiguous key ranges, each
@@ -134,16 +144,28 @@ class Emitter {
  public:
   using CombineFn = std::function<void(Value& acc, const Value& incoming)>;
 
+  /// `expected_keys` pre-sizes the combiner's slot index (an upper bound —
+  /// e.g. the worker's expected emission count — is fine); ignored without
+  /// a usable combiner.
   explicit Emitter(std::vector<std::pair<uint64_t, Value>>* out,
-                   const CombineFn* combiner = nullptr)
-      : out_(out), combiner_(Usable(combiner)) {}
+                   const CombineFn* combiner = nullptr,
+                   size_t expected_keys = 0)
+      : out_(out), combiner_(Usable(combiner)) {
+    if (combiner_ != nullptr && expected_keys > 0) {
+      slots_.reserve(expected_keys);
+    }
+  }
 
   Emitter(std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets,
           const KeyPartitioner* partitioner,
-          const CombineFn* combiner = nullptr)
+          const CombineFn* combiner = nullptr, size_t expected_keys = 0)
       : buckets_(buckets),
         partitioner_(partitioner),
-        combiner_(Usable(combiner)) {}
+        combiner_(Usable(combiner)) {
+    if (combiner_ != nullptr && expected_keys > 0) {
+      slots_.reserve(expected_keys);
+    }
+  }
 
   void Emit(uint64_t key, const Value& value) {
     ++emitted_;
@@ -152,9 +174,10 @@ class Emitter {
     if (combiner_ != nullptr) {
       // A key lands in the same bucket every time, so the remembered index
       // into that bucket stays valid across emissions.
-      const auto [slot, inserted] = slots_.try_emplace(key, bucket.size());
+      bool inserted = false;
+      const size_t slot = slots_.FindOrInsert(key, bucket.size(), &inserted);
       if (!inserted) {
-        (*combiner_)(bucket[slot->second].second, value);
+        (*combiner_)(bucket[slot].second, value);
         return;
       }
     }
@@ -173,7 +196,7 @@ class Emitter {
   std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets_ = nullptr;
   const KeyPartitioner* partitioner_ = nullptr;
   const CombineFn* combiner_ = nullptr;
-  std::unordered_map<uint64_t, size_t> slots_;
+  FlatMap64 slots_;
   uint64_t emitted_ = 0;
 };
 
@@ -230,6 +253,15 @@ struct RoundSpec {
   /// the raw ones. Leave empty for rounds whose reducers need the raw
   /// multiset (e.g. every edge copy).
   std::function<void(Value& acc, const Value& incoming)> combiner;
+
+  /// Optional sizing hint: expected emissions per input record (0 = no
+  /// hint). Strategies that know their replication rate analytically
+  /// (bucket-oriented ships C(b+p-3, p-2) pairs per edge, the 2-path
+  /// round exactly 1) declare it so the engine can reserve its emission
+  /// buffers and scatter buckets up front instead of reallocating through
+  /// the map phase. A wrong hint costs memory or a few reallocations,
+  /// never correctness.
+  double emissions_per_input = 0.0;
 };
 
 namespace engine_internal {
@@ -291,37 +323,23 @@ inline std::vector<size_t> SliceBoundaries(size_t size, unsigned parts) {
 }
 
 /// Runs `task(t)` for t in [0, count): task 0 on the calling thread, the
-/// rest on count-1 spawned threads. Joins them all and rethrows the
-/// lowest-index worker exception — so a callback that throws surfaces to
-/// the caller exactly as it would under the serial engine instead of
-/// reaching std::terminate.
+/// rest through the policy's persistent ThreadPool (which preserves the
+/// historical contract of spawning fresh threads here: join-all semantics
+/// and the lowest-index worker exception rethrown to the caller — so a
+/// callback that throws surfaces exactly as it would under the serial
+/// engine instead of reaching std::terminate). The pool's spawn/reuse
+/// split for this dispatch is folded into `stats`; a warm pool reuses
+/// parked threads and spawns nothing.
 template <typename Task>
-void RunWorkers(size_t count, const Task& task) {
-  if (count == 1) {
+void RunWorkers(const ExecutionPolicy& policy, size_t count, const Task& task,
+                ShuffleStats* stats) {
+  if (count <= 1) {
     task(0);
     return;
   }
-  std::vector<std::exception_ptr> errors(count);
-  std::vector<std::thread> workers;
-  workers.reserve(count - 1);
-  for (size_t t = 1; t < count; ++t) {
-    workers.emplace_back([&, t] {
-      try {
-        task(t);
-      } catch (...) {
-        errors[t] = std::current_exception();
-      }
-    });
-  }
-  try {
-    task(0);
-  } catch (...) {
-    errors[0] = std::current_exception();
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  const ThreadPool::RunStats run = policy.EnsurePool().Run(count, task);
+  stats->pool_threads_spawned += run.spawned;
+  stats->pool_tasks_reused += run.reused;
 }
 
 }  // namespace engine_internal
@@ -330,8 +348,13 @@ void RunWorkers(size_t count, const Task& task) {
 /// (EmitInstance), `records` the intermediate records (EmitRecord) a
 /// multi-round pipeline threads into its next round; either may be null.
 /// `policy` selects the host-side scheduling; results are identical for
-/// every thread count, shuffle mode, and partition count. Prefer
-/// JobDriver::RunRound (mapreduce/job.h), which also aggregates JobMetrics.
+/// every thread count, shuffle mode, partition count, and grouping mode.
+/// `expected_pairs` is a host-side reservation hint for the round's total
+/// emission count (0 = none; the spec's own `emissions_per_input` hint
+/// takes precedence) — a JobDriver passes the previous round's shipped
+/// pair count, a decent prior for pipelines that reshuffle similar
+/// volumes. Prefer JobDriver::RunRound (mapreduce/job.h), which also
+/// aggregates JobMetrics.
 template <typename Input, typename Value>
 MapReduceMetrics RunRound(
     const RoundSpec<Input, Value>& spec,
@@ -339,7 +362,8 @@ MapReduceMetrics RunRound(
     // vectors (Input/Value are pinned by the spec).
     std::span<const std::type_identity_t<Input>> inputs, InstanceSink* sink,
     InstanceSink* records = nullptr,
-    const ExecutionPolicy& policy = ExecutionPolicy::Serial()) {
+    const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
+    uint64_t expected_pairs = 0) {
   using Pair = std::pair<uint64_t, Value>;
   using CombineFn = typename Emitter<Value>::CombineFn;
   MapReduceMetrics metrics;
@@ -351,6 +375,19 @@ MapReduceMetrics RunRound(
   const auto& map_fn = spec.mapper;
   const auto& reduce_fn = spec.reducer;
   const unsigned map_threads = policy.EffectiveThreads(inputs.size());
+  if (spec.emissions_per_input > 0) {
+    expected_pairs = static_cast<uint64_t>(
+        spec.emissions_per_input * static_cast<double>(inputs.size()));
+  }
+  // With a combiner, a buffer holds at most one pair per distinct key, so
+  // reservations clamp to the declared key space — a counting round with
+  // millions of emissions onto a few thousand keys must not reserve for
+  // the raw emission count.
+  const auto clamp_combined = [&](uint64_t n) {
+    return (combiner != nullptr && spec.key_space > 0)
+               ? std::min(n, spec.key_space)
+               : n;
+  };
 
   // Fills the map-phase counters: `logical` emissions are the round's
   // communication cost in the paper's model; `shipped` is what the shuffle
@@ -373,7 +410,9 @@ MapReduceMetrics RunRound(
     std::vector<Pair> pairs;
     uint64_t logical_pairs = 0;
     if (map_threads <= 1) {
-      Emitter<Value> emitter(&pairs, combiner);
+      const size_t expected = clamp_combined(expected_pairs);
+      if (expected > 0) pairs.reserve(expected);
+      Emitter<Value> emitter(&pairs, combiner, expected);
       for (const Input& input : inputs) {
         map_fn(input, &emitter);
       }
@@ -383,13 +422,15 @@ MapReduceMetrics RunRound(
           engine_internal::SliceBoundaries(inputs.size(), map_threads);
       std::vector<std::vector<Pair>> slices(map_threads);
       std::vector<uint64_t> slice_logical(map_threads, 0);
-      engine_internal::RunWorkers(map_threads, [&](size_t t) {
-        Emitter<Value> emitter(&slices[t], combiner);
+      engine_internal::RunWorkers(policy, map_threads, [&](size_t t) {
+        const size_t expected = clamp_combined(expected_pairs / map_threads);
+        if (expected > 0) slices[t].reserve(expected + 1);
+        Emitter<Value> emitter(&slices[t], combiner, expected);
         for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
           map_fn(inputs[i], &emitter);
         }
         slice_logical[t] = emitter.emitted();
-      });
+      }, &metrics.shuffle);
       size_t total = 0;
       for (const auto& slice : slices) total += slice.size();
       pairs.reserve(total);
@@ -399,6 +440,10 @@ MapReduceMetrics RunRound(
       for (const uint64_t n : slice_logical) logical_pairs += n;
     }
     count_map_phase(logical_pairs, pairs.size());
+
+    // A round whose mappers emitted nothing has nothing to sort, no
+    // reducers to run, and no workers worth dispatching.
+    if (pairs.empty()) return metrics;
 
     // Shuffle: group by key, preserving emission order within a key.
     std::stable_sort(
@@ -442,14 +487,14 @@ MapReduceMetrics RunRound(
     std::vector<MapReduceMetrics> shard_metrics(chunks);
     std::vector<BufferingSink> shard_sinks(buffered ? chunks : 0);
     std::vector<BufferingSink> shard_records(records != nullptr ? chunks : 0);
-    engine_internal::RunWorkers(chunks, [&](size_t c) {
+    engine_internal::RunWorkers(policy, chunks, [&](size_t c) {
       engine_internal::ReduceRange(
           pairs, starts[c], starts[c + 1], reduce_fn, combiner,
           buffered ? static_cast<InstanceSink*>(&shard_sinks[c]) : nullptr,
           records != nullptr ? static_cast<InstanceSink*>(&shard_records[c])
                              : nullptr,
           &shard_metrics[c]);
-    });
+    }, &metrics.shuffle);
 
     for (size_t c = 0; c < chunks; ++c) {
       metrics.MergeReduceShard(shard_metrics[c]);
@@ -473,13 +518,22 @@ MapReduceMetrics RunRound(
   std::vector<std::vector<std::vector<Pair>>> scatter(
       map_threads, std::vector<std::vector<Pair>>(partitions));
   std::vector<uint64_t> worker_logical(map_threads, 0);
-  engine_internal::RunWorkers(map_threads, [&](size_t t) {
-    Emitter<Value> emitter(&scatter[t], &partitioner, combiner);
+  engine_internal::RunWorkers(policy, map_threads, [&](size_t t) {
+    if (expected_pairs > 0) {
+      // Spread the expected volume evenly over workers and partitions —
+      // the dense reducer ranks the strategies declare make the even
+      // split a good prior.
+      const size_t per_bucket =
+          clamp_combined(expected_pairs / map_threads) / partitions + 1;
+      for (auto& bucket : scatter[t]) bucket.reserve(per_bucket);
+    }
+    Emitter<Value> emitter(&scatter[t], &partitioner, combiner,
+                           clamp_combined(expected_pairs / map_threads));
     for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
       map_fn(inputs[i], &emitter);
     }
     worker_logical[t] = emitter.emitted();
-  });
+  }, &metrics.shuffle);
 
   std::vector<size_t> partition_pairs(partitions, 0);
   size_t total_pairs = 0;
@@ -493,9 +547,13 @@ MapReduceMetrics RunRound(
   for (const uint64_t n : worker_logical) logical_pairs += n;
   count_map_phase(logical_pairs, total_pairs);
 
+  // Empty round: nothing to group, no reduce workers worth dispatching.
+  if (total_pairs == 0) return metrics;
+
   // Reduce phase: workers drain partitions from a dynamic queue. Each
-  // partition is concatenated in worker order (restoring the serial
-  // emission order of its key range), stable-sorted, and reduced into
+  // partition is grouped by key (counting scatter on dense key ranges,
+  // stable_sort of the worker-order concatenation otherwise — identical
+  // grouped order either way; see group_by_key.h) and reduced into
   // partition-private metrics/sinks, so nothing below needs a lock.
   const bool counts_only = sink != nullptr && sink->CountsOnly();
   const bool buffered = sink != nullptr && !counts_only;
@@ -503,24 +561,26 @@ MapReduceMetrics RunRound(
   std::vector<BufferingSink> partition_sinks(buffered ? partitions : 0);
   std::vector<BufferingSink> partition_records(records != nullptr ? partitions
                                                                   : 0);
+  // How partition p was grouped (one writer per slot: each partition is
+  // drained exactly once): 1 = counting scatter, 2 = stable_sort.
+  std::vector<uint8_t> partition_grouping(partitions, 0);
   const unsigned reduce_threads =
       std::min(policy.EffectiveThreads(total_pairs), partitions);
   std::atomic<unsigned> next_partition{0};
-  engine_internal::RunWorkers(reduce_threads, [&](size_t) {
+  engine_internal::RunWorkers(policy, reduce_threads, [&](size_t) {
     std::vector<Pair> local;
+    std::vector<std::vector<Pair>*> buckets(map_threads);
+    std::vector<uint32_t> counts;
     while (true) {
       const unsigned p = next_partition.fetch_add(1);
       if (p >= partitions) break;
       if (partition_pairs[p] == 0) continue;
-      local.clear();
-      local.reserve(partition_pairs[p]);
       for (unsigned t = 0; t < map_threads; ++t) {
-        std::move(scatter[t][p].begin(), scatter[t][p].end(),
-                  std::back_inserter(local));
+        buckets[t] = &scatter[t][p];
       }
-      std::stable_sort(
-          local.begin(), local.end(),
-          [](const auto& a, const auto& b) { return a.first < b.first; });
+      const bool counted = engine_internal::GroupByKey<Value>(
+          buckets, partition_pairs[p], policy.group, &local, &counts);
+      partition_grouping[p] = counted ? 1 : 2;
       engine_internal::ReduceRange(
           local, 0, local.size(), reduce_fn, combiner,
           buffered ? static_cast<InstanceSink*>(&partition_sinks[p]) : nullptr,
@@ -528,13 +588,15 @@ MapReduceMetrics RunRound(
                              : nullptr,
           &partition_metrics[p]);
     }
-  });
+  }, &metrics.shuffle);
 
   // Ordered replay: partitions cover ascending disjoint key ranges, so
   // merging (and flushing buffered emissions) in partition order
   // reproduces the serial round's ascending-key order exactly.
   for (unsigned p = 0; p < partitions; ++p) {
     metrics.MergePartitionShard(partition_metrics[p], partition_pairs[p]);
+    metrics.shuffle.counting_partitions += partition_grouping[p] == 1;
+    metrics.shuffle.sorted_partitions += partition_grouping[p] == 2;
     if (buffered) partition_sinks[p].FlushTo(sink);
     if (records != nullptr) partition_records[p].FlushTo(records);
   }

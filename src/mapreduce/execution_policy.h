@@ -3,7 +3,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <thread>
+
+#include "mapreduce/thread_pool.h"
 
 namespace smr {
 
@@ -20,6 +23,24 @@ enum class ShuffleMode {
   /// in worker order, stable-sorted, and reduced. No global barrier vector
   /// and no serial sort.
   kPartitioned,
+};
+
+/// How the partitioned shuffle groups each partition's pairs by key. Every
+/// mode yields the same grouped order (ascending key, emission order within
+/// a key); they differ only in host-side cost. See mapreduce/group_by_key.h.
+enum class GroupMode {
+  /// stable_sort every partition — the reference grouping (O(n log n)).
+  kSort,
+  /// Counting scatter (histogram over the partition's key range, prefix
+  /// sum, stable scatter — O(n + range)) whenever the range is
+  /// representable; falls back to kSort only when the range is more than
+  /// 64x the pair count or the partition exceeds 2^32 pairs. For
+  /// benchmarking the counting path on workloads known to be dense.
+  kCounting,
+  /// Counting scatter when the partition is dense enough (pairs >=
+  /// range / 4 — strategies keep reducer ranks dense in their declared
+  /// key_space, so their partitions qualify), stable_sort otherwise.
+  kAuto,
 };
 
 /// How the simulated map-reduce engine schedules its work on the host.
@@ -43,12 +64,27 @@ struct ExecutionPolicy {
   /// workers busy even when key ranges are skewed.
   unsigned shuffle_partitions = 0;
 
+  /// How the partitioned shuffle groups each partition (sort-free counting
+  /// scatter on dense key ranges vs the reference stable_sort). Semantics
+  /// are identical in every mode.
+  GroupMode group = GroupMode::kAuto;
+
   /// Map-side combining: when a RoundSpec declares an associative
   /// combiner, apply it (per-worker pre-aggregation plus the reduce-side
   /// fold — see engine.h). Turning this off ships every raw emission, for
   /// A/B measurement of the combiner's shuffle-volume savings; semantic
   /// results are identical either way.
   bool combine = true;
+
+  /// The persistent worker pool every parallel phase dispatches through
+  /// (mutable: created lazily by EnsurePool() on the first parallel
+  /// dispatch, so serial policies never allocate one). Once created it is
+  /// shared by all copies of this policy — JobDriver holds the policy by
+  /// value, so all rounds and phases of a job wake the same parked threads
+  /// instead of spawning fresh ones. Copies taken *before* the first
+  /// dispatch each lazily create their own pool, which is the correct
+  /// isolation for policies handed to independent jobs.
+  mutable std::shared_ptr<ThreadPool> pool = nullptr;
 
   static ExecutionPolicy Serial() { return ExecutionPolicy{1}; }
 
@@ -76,10 +112,24 @@ struct ExecutionPolicy {
     return policy;
   }
 
+  ExecutionPolicy WithGroup(GroupMode mode) const {
+    ExecutionPolicy policy = *this;
+    policy.group = mode;
+    return policy;
+  }
+
   ExecutionPolicy WithCombine(bool on) const {
     ExecutionPolicy policy = *this;
     policy.combine = on;
     return policy;
+  }
+
+  /// The policy's pool, created on first use. Not synchronized: dispatches
+  /// happen from the single thread driving the round (the engine's
+  /// existing contract); concurrent jobs must use distinct policy objects.
+  ThreadPool& EnsurePool() const {
+    if (!pool) pool = std::make_shared<ThreadPool>();
+    return *pool;
   }
 
   /// Threads actually worth spawning for `work_items` units of work.

@@ -75,13 +75,21 @@ class JobDriver {
   /// the next round; either may be null. Returned by value: a reference
   /// into job() would dangle as soon as the next round's push_back
   /// reallocates the rounds vector.
+  ///
+  /// The driver threads two kinds of cross-round host state to the engine:
+  /// the policy's persistent ThreadPool (held by value here, so every
+  /// round's phases wake the same parked workers), and the previous
+  /// round's physically shipped pair count, which sizes the next round's
+  /// emission buffers and scatter buckets when the round declares no
+  /// `emissions_per_input` hint of its own.
   template <typename Input, typename Value>
   MapReduceMetrics RunRound(
       const RoundSpec<Input, Value>& spec,
       std::span<const std::type_identity_t<Input>> inputs, InstanceSink* sink,
       InstanceSink* records = nullptr) {
-    MapReduceMetrics metrics =
-        smr::RunRound(spec, inputs, sink, records, policy_);
+    MapReduceMetrics metrics = smr::RunRound(spec, inputs, sink, records,
+                                             policy_, previous_round_pairs_);
+    previous_round_pairs_ = metrics.shuffle.pairs_shipped;
     job_.rounds.push_back(JobRoundMetrics{spec.name, metrics});
     return metrics;
   }
@@ -94,6 +102,7 @@ class JobDriver {
  private:
   ExecutionPolicy policy_;
   JobMetrics job_;
+  uint64_t previous_round_pairs_ = 0;
 };
 
 }  // namespace smr

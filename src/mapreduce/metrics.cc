@@ -24,7 +24,13 @@ std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
   if (m.shuffle.partitions > 0) {
     os << " shuffle_partitions=" << m.shuffle.partitions
        << " partition_skew="
-       << m.shuffle.PartitionSkew(m.shuffle.pairs_shipped);
+       << m.shuffle.PartitionSkew(m.shuffle.pairs_shipped)
+       << " grouping=counting:" << m.shuffle.counting_partitions
+       << "+sorted:" << m.shuffle.sorted_partitions;
+  }
+  if (m.shuffle.pool_threads_spawned + m.shuffle.pool_tasks_reused > 0) {
+    os << " pool=spawned:" << m.shuffle.pool_threads_spawned
+       << "+reused:" << m.shuffle.pool_tasks_reused;
   }
   return os;
 }

@@ -38,6 +38,21 @@ struct ShuffleStats {
   /// Bytes scattered through the shuffle (keys + values, post-combine).
   uint64_t shuffle_bytes = 0;
 
+  /// How the partitioned shuffle grouped its non-empty partitions:
+  /// `counting_partitions` took the O(n) counting scatter (dense key
+  /// range), `sorted_partitions` the stable_sort fallback. Both 0 for the
+  /// sort shuffle and for empty rounds. See mapreduce/group_by_key.h.
+  uint64_t counting_partitions = 0;
+  uint64_t sorted_partitions = 0;
+
+  /// Persistent-pool accounting for this round's parallel phases: threads
+  /// the policy's ThreadPool had to create vs worker tasks served by
+  /// already-parked threads. A multi-round job under one JobDriver spawns
+  /// only in its first parallel phase and reuses everywhere after, so
+  /// summing these over a job's rounds shows spawns << phases x workers.
+  uint64_t pool_threads_spawned = 0;
+  uint64_t pool_tasks_reused = 0;
+
   /// Max partition load over mean partition load; 1.0 is perfectly
   /// balanced. 0 when the round used the sort shuffle or moved no data.
   double PartitionSkew(uint64_t total_pairs) const {

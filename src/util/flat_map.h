@@ -1,0 +1,101 @@
+#ifndef SMR_UTIL_FLAT_MAP_H_
+#define SMR_UTIL_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hashing.h"
+
+namespace smr {
+
+/// Open-addressing uint64 -> size_t hash table specialized for the
+/// combining Emitter's slot index (key -> position of the key's pair in
+/// the emission bucket): power-of-two capacity, linear probing, SplitMix64
+/// key mixing, growth at 7/8 load. The workload is a hot try_emplace per
+/// emission with no erase — a flat probe sequence over one contiguous
+/// array beats std::unordered_map's node allocations and pointer chasing
+/// by a wide margin there.
+///
+/// An all-ones key is the empty-slot sentinel; the one real key that
+/// collides with it (UINT64_MAX — no strategy's reducer space reaches it,
+/// but radix-keyed rounds may) is stored out of line.
+class FlatMap64 {
+ public:
+  /// Returns the slot value for `key`, inserting `value_if_new` first if
+  /// the key was absent (`*inserted` reports which). The reference stays
+  /// valid until the next FindOrInsert.
+  size_t& FindOrInsert(uint64_t key, size_t value_if_new, bool* inserted) {
+    if (key == kEmptyKey) {
+      *inserted = !has_sentinel_key_;
+      if (*inserted) {
+        has_sentinel_key_ = true;
+        sentinel_value_ = value_if_new;
+        ++size_;
+      }
+      return sentinel_value_;
+    }
+    if (size_ * 8 >= capacity() * 7) Grow();
+    const size_t mask = capacity() - 1;
+    size_t slot = static_cast<size_t>(SplitMix64(key)) & mask;
+    while (true) {
+      Entry& entry = entries_[slot];
+      if (entry.key == kEmptyKey) {
+        entry.key = key;
+        entry.value = value_if_new;
+        ++size_;
+        *inserted = true;
+        return entry.value;
+      }
+      if (entry.key == key) {
+        *inserted = false;
+        return entry.value;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  /// Pre-sizes the table for `n` keys without rehashing on the way there.
+  void reserve(size_t n) {
+    size_t needed = kMinCapacity;
+    // Stay under the 7/8 growth trigger: capacity > 8n/7.
+    while (needed * 7 <= n * 8) needed *= 2;
+    if (needed > capacity()) Rehash(needed);
+  }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+  static constexpr size_t kMinCapacity = 16;
+
+  struct Entry {
+    uint64_t key = kEmptyKey;
+    size_t value = 0;
+  };
+
+  size_t capacity() const { return entries_.size(); }
+
+  void Grow() { Rehash(capacity() == 0 ? kMinCapacity : capacity() * 2); }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(new_capacity, Entry{});
+    const size_t mask = new_capacity - 1;
+    for (const Entry& entry : old) {
+      if (entry.key == kEmptyKey) continue;
+      size_t slot = static_cast<size_t>(SplitMix64(entry.key)) & mask;
+      while (entries_[slot].key != kEmptyKey) slot = (slot + 1) & mask;
+      entries_[slot] = entry;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  size_t size_ = 0;
+  bool has_sentinel_key_ = false;
+  size_t sentinel_value_ = 0;
+};
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_FLAT_MAP_H_
