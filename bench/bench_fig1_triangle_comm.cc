@@ -10,15 +10,27 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 
-#include "core/triangle_algorithms.h"
+#include "core/strategy.h"
 #include "graph/generators.h"
+#include "graph/sample_graph.h"
 #include "shares/replication_formulas.h"
 
 namespace smr {
 namespace {
 
+/// Measured replication of a registry strategy at bucket count b.
+MapReduceMetrics RunSpec(const std::string& name, int b, const SampleGraph& p,
+                         const Graph& g) {
+  return StrategyRegistry::Global()
+      .Run(EnumerationQuery::Undirected(p, g).WithStrategy(
+          name + ":" + std::to_string(b)))
+      .metrics;
+}
+
 void Run() {
+  const SampleGraph pattern = SampleGraph::Triangle();
   const Graph g = ErdosRenyi(2000, 20000, 42);
   std::printf(
       "Fig.1: communication cost per edge of the three triangle algorithms\n"
@@ -35,9 +47,9 @@ void Run() {
         std::max(1, static_cast<int>(std::lround(predicted.multiway_buckets)));
     const int b_ordered =
         std::max(1, static_cast<int>(std::lround(predicted.ordered_buckets)));
-    const auto partition = PartitionTriangles(g, b_partition, 1, nullptr);
-    const auto multiway = MultiwayJoinTriangles(g, b_multiway, 1, nullptr);
-    const auto ordered = OrderedBucketTriangles(g, b_ordered, 1, nullptr);
+    const auto partition = RunSpec("partition", b_partition, pattern, g);
+    const auto multiway = RunSpec("multiway", b_multiway, pattern, g);
+    const auto ordered = RunSpec("orderedbucket", b_ordered, pattern, g);
     std::printf("%10.0f | %10.2f / %8.2f | %10.2f / %8.2f | %10.2f / %8.2f\n",
                 k, partition.ReplicationRate(),
                 PartitionTriangleReplication(b_partition),

@@ -8,8 +8,9 @@
 #include <chrono>
 #include <cstdio>
 
-#include "core/triangle_algorithms.h"
+#include "core/strategy.h"
 #include "graph/generators.h"
+#include "graph/sample_graph.h"
 #include "mapreduce/execution_policy.h"
 #include "serial/triangles.h"
 #include "shares/replication_formulas.h"
@@ -19,7 +20,17 @@ namespace smr {
 namespace {
 
 void Run() {
+  const SampleGraph pattern = SampleGraph::Triangle();
   const Graph g = ErdosRenyi(3000, 36000, 7);
+  const auto RunSpec = [&](const char* spec,
+                           const ExecutionPolicy& policy =
+                               ExecutionPolicy::Serial()) {
+    return StrategyRegistry::Global().Run(
+        EnumerationQuery::Undirected(pattern, g)
+            .WithStrategy(spec)
+            .WithSeed(3)
+            .WithPolicy(policy));
+  };
   const uint64_t serial = CountTriangles(g);
   std::printf(
       "Fig.2: triangle algorithms at comparable reducer counts\n"
@@ -29,19 +40,19 @@ void Run() {
   std::printf("%-12s %8s %10s %14s %14s %10s\n", "algorithm", "buckets",
               "reducers", "comm/edge", "paper", "found");
 
-  const auto partition = PartitionTriangles(g, 12, 3, nullptr);
+  const auto partition = RunSpec("partition:12").metrics;
   std::printf("%-12s %8d %10llu %14.2f %14.2f %10llu\n", "Partition", 12,
               static_cast<unsigned long long>(partition.key_space),
               partition.ReplicationRate(), 13.75,
               static_cast<unsigned long long>(partition.outputs));
 
-  const auto multiway = MultiwayJoinTriangles(g, 6, 3, nullptr);
+  const auto multiway = RunSpec("multiway:6").metrics;
   std::printf("%-12s %8d %10llu %14.2f %14.2f %10llu\n", "multiway", 6,
               static_cast<unsigned long long>(multiway.key_space),
               multiway.ReplicationRate(), 16.0,
               static_cast<unsigned long long>(multiway.outputs));
 
-  const auto ordered = OrderedBucketTriangles(g, 10, 3, nullptr);
+  const auto ordered = RunSpec("orderedbucket:10").metrics;
   std::printf("%-12s %8d %10llu %14.2f %14.2f %10llu\n", "ordered", 10,
               static_cast<unsigned long long>(ordered.key_space),
               ordered.ReplicationRate(), 10.0,
@@ -62,7 +73,7 @@ void Run() {
     uint64_t found = 0;
     const auto once = [&] {
       const auto start = std::chrono::steady_clock::now();
-      found = OrderedBucketTriangles(g, 10, 3, nullptr, policy).outputs;
+      found = RunSpec("orderedbucket:10", policy).instances;
       const auto stop = std::chrono::steady_clock::now();
       return std::chrono::duration<double, std::milli>(stop - start).count();
     };

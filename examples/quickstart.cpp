@@ -1,4 +1,5 @@
-// Quickstart: enumerate triangles in a graph with one map-reduce round.
+// Quickstart: enumerate triangles in a graph through the registry-driven
+// Query/Strategy/Result API.
 //
 // Build:  cmake -B build -G Ninja && cmake --build build
 // Run:    ./build/examples/quickstart [path/to/edge_list.txt]
@@ -10,10 +11,10 @@
 #include <cstdio>
 #include <string>
 
-#include "core/subgraph_enumerator.h"
-#include "core/triangle_algorithms.h"
+#include "core/strategy.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/sample_graph.h"
 
 int main(int argc, char** argv) {
   // 1. Load or generate the data graph.
@@ -25,28 +26,37 @@ int main(int argc, char** argv) {
   std::printf("data graph: %u nodes, %zu edges\n", graph.num_nodes(),
               graph.num_edges());
 
-  // 2. The specialized Section-2.3 algorithm: b per-edge replication,
+  // 2. A query is a pattern + data graph + strategy spec. "orderedbucket:8"
+  //    is the specialized Section-2.3 algorithm: b per-edge replication,
   //    C(b+2,3) reducers, every triangle found exactly once.
-  const int buckets = 8;
+  const smr::SampleGraph triangle = smr::SampleGraph::Triangle();
   smr::CountingSink count;
-  const smr::MapReduceMetrics metrics =
-      smr::OrderedBucketTriangles(graph, buckets, /*seed=*/1, &count);
+  const smr::EnumerationResult ordered = smr::StrategyRegistry::Global().Run(
+      smr::EnumerationQuery::Undirected(triangle, graph)
+          .WithStrategy("orderedbucket:8")
+          .WithSink(&count));
   std::printf("triangles: %llu\n",
-              static_cast<unsigned long long>(count.count()));
-  std::printf("map-reduce metrics: %s\n", metrics.ToString().c_str());
+              static_cast<unsigned long long>(ordered.instances));
+  std::printf("map-reduce metrics: %s\n", ordered.metrics.ToString().c_str());
 
-  // 3. The same thing through the generic facade (any sample graph works).
-  const smr::SubgraphEnumerator enumerator(smr::SampleGraph::Triangle());
-  const auto generic = enumerator.RunBucketOriented(graph, buckets, 1,
-                                                    /*sink=*/nullptr);
-  std::printf("generic bucket-oriented agrees: %s (%llu)\n",
-              generic.outputs == count.count() ? "yes" : "NO",
-              static_cast<unsigned long long>(generic.outputs));
+  // 3. "auto:<k>" lets the PlanAdvisor pick the cheapest plan for a
+  //    reducer budget — here it compares the one-round strategies against
+  //    the multi-round triangle pipelines and reports its choice.
+  const smr::EnumerationResult automatic = smr::StrategyRegistry::Global().Run(
+      smr::EnumerationQuery::Undirected(triangle, graph)
+          .WithStrategy("auto:512"));
+  std::printf("auto:512 resolved to %s, agrees: %s (%llu)\n",
+              automatic.resolved_spec.ToSpec().c_str(),
+              automatic.instances == ordered.instances ? "yes" : "NO",
+              static_cast<unsigned long long>(automatic.instances));
+  std::printf("  plan: %s\n", automatic.plan.c_str());
 
   // 4. And the serial reference for a sanity check.
-  const uint64_t serial = enumerator.RunSerial(graph, nullptr);
-  std::printf("serial reference:               %s (%llu)\n",
-              serial == count.count() ? "yes" : "NO",
-              static_cast<unsigned long long>(serial));
+  const smr::EnumerationResult serial = smr::StrategyRegistry::Global().Run(
+      smr::EnumerationQuery::Undirected(triangle, graph)
+          .WithStrategy("serial"));
+  std::printf("serial reference agrees:        %s (%llu)\n",
+              serial.instances == ordered.instances ? "yes" : "NO",
+              static_cast<unsigned long long>(serial.instances));
   return 0;
 }

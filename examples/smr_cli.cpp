@@ -1,70 +1,91 @@
 // Command-line driver: enumerate instances of a named pattern in a graph
-// with a chosen strategy. The kind of front-end a production deployment of
-// this library would expose.
+// with any registered strategy. The kind of front-end a production
+// deployment of this library would expose.
 //
-// Usage:
-//   smr_cli --pattern <name> --input <spec> [--strategy <spec>] [--seed N]
-//           [--threads N] [--stats] [--print N]
-//
-//   --pattern   triangle | square | lollipop | path:<p> | star:<p> |
-//               cycle:<p> | clique:<p> | hypercube:<d>
-//   --input     er:<n>:<m>:<seed>  (Erdős–Rényi)
-//               pa:<n>:<deg>:<seed> (preferential attachment)
-//               file:<path>        (edge list)
-//   --strategy  bucket:<b> (default bucket:8) | variable:<k> | serial |
-//               census (per-node triangle counts; a 3-round pipeline whose
-//               counting round declares a map-side combiner)
-//   --threads   engine worker threads (0 = one per hardware context;
-//               default 1). Results are identical for every value.
-//   --shuffle   partition[:P] (default; P = partition count, default auto)
-//               | sort (the single-global-sort reference shuffle).
-//               Results are identical for every mode and partition count.
-//   --group     auto (default) | counting | sort: how the partitioned
-//               shuffle groups each partition — auto takes the O(n)
-//               counting scatter on dense key ranges and falls back to
-//               stable_sort on sparse ones; counting forces the scatter
-//               wherever representable; sort is the reference grouping.
-//               Results are identical for every mode.
-//   --combine   on (default) | off: apply declared map-side combiners.
-//               Results are identical either way; the round table's
-//               'shipped' column shows the savings.
-//   --stats     print graph statistics first
-//   --print N   print the first N instances found
-//
-// Every map-reduce run prints its JobMetrics round table: per-round
-// communication (the paper's cost model), physically shipped pairs (after
-// combining), reducers used, max reducer input, and outputs.
-//
-// Examples:
-//   smr_cli --pattern square --input er:2000:12000:1 --strategy bucket:6
-//   smr_cli --pattern cycle:5 --input pa:500:3:7 --strategy variable:729
-//   smr_cli --pattern triangle --input file:my.edges --strategy serial
-//   smr_cli --pattern triangle --input er:2000:40000:1 --strategy census
-//           --threads 4 --combine off
+// Fully registry-driven: the strategy spec is parsed by ParseStrategySpec
+// against the process-wide StrategyRegistry, dispatch is one
+// StrategyRegistry::Run call (no per-strategy branching), and
+// --list-strategies prints whatever is registered — a new strategy shows
+// up here by registration alone. Run with --help for the flag reference.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <exception>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
-#include "core/plan_advisor.h"
+#include "core/strategy.h"
 #include "core/subgraph_enumerator.h"
-#include "core/triangle_census.h"
-#include "core/variable_oriented.h"
+#include "directed/directed_graph.h"
 #include "graph/generators.h"
 #include "graph/io.h"
-#include "graph/node_order.h"
 #include "graph/statistics.h"
-#include "mapreduce/execution_policy.h"
-#include "mapreduce/job.h"
+#include "labeled/labeled_graph.h"
+#include "mapreduce/policy_spec.h"
+#include "util/parse.h"
 
 namespace {
 
-[[noreturn]] void Usage(const char* message) {
-  std::fprintf(stderr, "error: %s\nsee the header of smr_cli.cpp for usage\n",
-               message);
+constexpr const char kHelp[] = R"(usage:
+  smr_cli --pattern <name> --input <spec> [--strategy <spec>] [--seed N]
+          [--threads N] [--shuffle S] [--group G] [--combine C]
+          [--stats] [--print N]
+  smr_cli --list-strategies
+  smr_cli --help
+
+  --pattern   triangle | square | lollipop | path:<p> | star:<p> |
+              cycle:<p> | clique:<p> | hypercube:<d>
+  --input     er:<n>:<m>:<seed>   (Erdos-Renyi)
+              pa:<n>:<deg>:<seed> (preferential attachment)
+              file:<path>         (edge list)
+  --strategy  any registered strategy spec (default bucket:8); see
+              --list-strategies for names, tunables, and capabilities.
+              Notables:
+                bucket:<b>       one-round bucket-oriented (Sec. 4.5)
+                variable:<s1>x<s2>x...  explicit per-variable shares
+                variable-auto:<k>  optimizer shares at reducer budget k
+                auto:<k>         PlanAdvisor picks the cheapest eligible
+                                 strategy for reducer budget k (bucket,
+                                 variable-auto, and on triangle patterns
+                                 tworound / census)
+                serial           reference enumeration, no engine
+              A labeled-only strategy runs on a uniformly-labeled view of
+              the input; a directed-only strategy on the canonical
+              (low-id -> high-id) orientation.
+  --list-strategies
+              print every registered strategy: name, canonical spec with
+              defaults, capabilities, tunables, description. Tab-separated;
+              lines starting with '#' are comments.
+  --threads   engine worker threads (0 = one per hardware context;
+              default 1). Results are identical for every value.
+  --shuffle   partition[:P] (default; P = partition count, default auto)
+              | sort (the single-global-sort reference shuffle).
+  --group     auto (default) | counting | sort: how the partitioned
+              shuffle groups each partition.
+  --combine   on (default) | off: apply declared map-side combiners.
+  --seed      bucket-hash seed (default 1)
+  --stats     print graph statistics first
+  --print N   print the first N instances found
+
+Engine knobs change only host scheduling, never results. Every map-reduce
+run prints its JobMetrics round table: per-round communication (the
+paper's cost model), physically shipped pairs (after combining), reducers
+used, max reducer input, and outputs.
+
+examples:
+  smr_cli --pattern square --input er:2000:12000:1 --strategy bucket:6
+  smr_cli --pattern cycle:5 --input pa:500:3:7 --strategy variable-auto:729
+  smr_cli --pattern triangle --input er:2000:40000:1 --strategy auto:500
+  smr_cli --pattern triangle --input er:2000:40000:1 --strategy census
+          --threads 4 --combine off
+)";
+
+[[noreturn]] void Usage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\nrun smr_cli --help for usage\n",
+               message.c_str());
   std::exit(2);
 }
 
@@ -80,75 +101,149 @@ std::vector<std::string> SplitColons(const std::string& s) {
   return parts;
 }
 
+/// Checked integer in [min, max]; dies with a flag-specific message on
+/// garbage or overflow (never silently runs with 0, unlike std::atoi).
+int64_t RequireInt(const std::string& text, int64_t min, int64_t max,
+                   const std::string& what) {
+  const auto value = smr::ParseInt64(text);
+  if (!value || *value < min || *value > max) {
+    Usage(what + " needs an integer in [" + std::to_string(min) + ", " +
+          std::to_string(max) + "], got '" + text + "'");
+  }
+  return *value;
+}
+
 smr::SampleGraph ParsePattern(const std::string& spec) {
   const auto parts = SplitColons(spec);
   const std::string& name = parts[0];
-  const int arg = parts.size() > 1 ? std::atoi(parts[1].c_str()) : 0;
-  if (name == "triangle") return smr::SampleGraph::Triangle();
-  if (name == "square") return smr::SampleGraph::Square();
-  if (name == "lollipop") return smr::SampleGraph::Lollipop();
+  const bool parameterized = name == "path" || name == "star" ||
+                             name == "cycle" || name == "clique" ||
+                             name == "hypercube";
+  if (!parameterized) {
+    if (parts.size() != 1) Usage("pattern '" + name + "' takes no parameter");
+    if (name == "triangle") return smr::SampleGraph::Triangle();
+    if (name == "square") return smr::SampleGraph::Square();
+    if (name == "lollipop") return smr::SampleGraph::Lollipop();
+    Usage("unknown pattern '" + name + "'");
+  }
+  if (parts.size() != 2) {
+    Usage("pattern '" + name + "' needs one parameter (" + name + ":<p>)");
+  }
+  const int arg = static_cast<int>(
+      RequireInt(parts[1], 1, 1 << 20, "--pattern " + name));
   if (name == "path") return smr::SampleGraph::Path(arg);
   if (name == "star") return smr::SampleGraph::Star(arg);
   if (name == "cycle") return smr::SampleGraph::Cycle(arg);
   if (name == "clique") return smr::SampleGraph::Clique(arg);
-  if (name == "hypercube") return smr::SampleGraph::Hypercube(arg);
-  Usage("unknown pattern");
+  return smr::SampleGraph::Hypercube(arg);
 }
 
 smr::Graph ParseInput(const std::string& spec) {
   const auto parts = SplitColons(spec);
   if (parts[0] == "er" && parts.size() == 4) {
     return smr::ErdosRenyi(
-        static_cast<smr::NodeId>(std::atoi(parts[1].c_str())),
-        static_cast<size_t>(std::atoll(parts[2].c_str())),
-        static_cast<uint64_t>(std::atoll(parts[3].c_str())));
+        static_cast<smr::NodeId>(
+            RequireInt(parts[1], 1, 1u << 31, "--input er n")),
+        static_cast<size_t>(
+            RequireInt(parts[2], 0, int64_t{1} << 40, "--input er m")),
+        static_cast<uint64_t>(
+            RequireInt(parts[3], 0, INT64_MAX, "--input er seed")));
   }
   if (parts[0] == "pa" && parts.size() == 4) {
     return smr::PreferentialAttachment(
-        static_cast<smr::NodeId>(std::atoi(parts[1].c_str())),
-        std::atoi(parts[2].c_str()),
-        static_cast<uint64_t>(std::atoll(parts[3].c_str())));
+        static_cast<smr::NodeId>(
+            RequireInt(parts[1], 1, 1u << 31, "--input pa n")),
+        static_cast<int>(RequireInt(parts[2], 1, 1 << 20, "--input pa deg")),
+        static_cast<uint64_t>(
+            RequireInt(parts[3], 0, INT64_MAX, "--input pa seed")));
   }
   if (parts[0] == "file" && parts.size() == 2) {
     return smr::ReadEdgeListFile(parts[1]);
   }
-  Usage("bad --input spec");
+  Usage("bad --input spec '" + spec + "'");
 }
 
-}  // namespace
+void ListStrategies() {
+  std::printf(
+      "# name\tcanonical spec\tcapabilities\ttunables\tdescription\n");
+  for (const smr::Strategy* strategy :
+       smr::StrategyRegistry::Global().Strategies()) {
+    smr::StrategySpec defaults;
+    defaults.name = strategy->name();
+    defaults = strategy->ResolveSpec(defaults);
+    std::string tunables;
+    for (const smr::TunableDecl& decl : strategy->tunables()) {
+      if (!tunables.empty()) tunables += "; ";
+      tunables += decl.name + " (" + decl.doc + ")";
+    }
+    std::printf("%s\t%s\t%s\t%s\t%s\n", strategy->name().c_str(),
+                defaults.ToSpec().c_str(),
+                strategy->capabilities().ToString().c_str(),
+                tunables.empty() ? "-" : tunables.c_str(),
+                strategy->description().c_str());
+  }
+}
 
-int main(int argc, char** argv) {
+/// A uniformly-labeled view of an undirected pattern/graph pair: every
+/// edge carries label 0, so labeled enumeration matches the unlabeled one.
+smr::LabeledSampleGraph UniformlyLabeled(const smr::SampleGraph& pattern) {
+  std::vector<std::tuple<int, int, smr::EdgeLabel>> edges;
+  edges.reserve(pattern.edges().size());
+  for (const auto& [a, b] : pattern.edges()) edges.emplace_back(a, b, 0);
+  return smr::LabeledSampleGraph(pattern.num_vars(), std::move(edges));
+}
+
+smr::LabeledGraph UniformlyLabeled(const smr::Graph& graph) {
+  std::vector<smr::LabeledEdge> edges;
+  edges.reserve(graph.num_edges());
+  for (const auto& [u, v] : graph.edges()) edges.push_back({u, v, 0});
+  return smr::LabeledGraph(graph.num_nodes(), std::move(edges));
+}
+
+/// The canonical orientation (low endpoint -> high endpoint) of an
+/// undirected pattern/graph pair, for directed-only strategies.
+smr::DirectedSampleGraph CanonicallyOriented(const smr::SampleGraph& pattern) {
+  return smr::DirectedSampleGraph(pattern.num_vars(), pattern.edges());
+}
+
+smr::DirectedGraph CanonicallyOriented(const smr::Graph& graph) {
+  return smr::DirectedGraph(graph.num_nodes(), graph.edges());
+}
+
+int RunCli(int argc, char** argv) {
   std::optional<std::string> pattern_spec;
   std::optional<std::string> input_spec;
   std::string strategy = "bucket:8";
+  std::string threads = "1";
   std::string shuffle = "partition";
   std::string group = "auto";
   std::string combine = "on";
   uint64_t seed = 1;
-  int threads = 1;
   bool stats = false;
   size_t print_limit = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) Usage("missing argument value");
+      if (i + 1 >= argc) Usage("missing value after " + arg);
       return argv[++i];
     };
-    if (arg == "--pattern") {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kHelp, stdout);
+      return 0;
+    } else if (arg == "--list-strategies") {
+      ListStrategies();
+      return 0;
+    } else if (arg == "--pattern") {
       pattern_spec = next();
     } else if (arg == "--input") {
       input_spec = next();
     } else if (arg == "--strategy") {
       strategy = next();
     } else if (arg == "--seed") {
-      seed = static_cast<uint64_t>(std::atoll(next().c_str()));
+      seed = static_cast<uint64_t>(
+          RequireInt(next(), 0, INT64_MAX, "--seed"));
     } else if (arg == "--threads") {
-      const std::string value = next();
-      char* end = nullptr;
-      threads = static_cast<int>(std::strtol(value.c_str(), &end, 10));
-      if (end == value.c_str() || *end != '\0' || threads < 0) {
-        Usage("--threads needs a nonnegative integer (0 = max parallel)");
-      }
+      threads = next();
     } else if (arg == "--shuffle") {
       shuffle = next();
     } else if (arg == "--group") {
@@ -158,9 +253,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
-      print_limit = static_cast<size_t>(std::atoll(next().c_str()));
+      print_limit = static_cast<size_t>(
+          RequireInt(next(), 0, INT64_MAX, "--print"));
     } else {
-      Usage("unknown flag");
+      Usage("unknown flag '" + arg + "'");
     }
   }
   if (!pattern_spec || !input_spec) Usage("--pattern and --input required");
@@ -174,124 +270,90 @@ int main(int argc, char** argv) {
                 smr::ComputeStatistics(graph).ToString().c_str());
   }
 
-  const smr::SubgraphEnumerator enumerator(pattern);
-  std::printf("CQ set:  %zu conjunctive queries\n", enumerator.cqs().size());
+  const smr::ExecutionPolicy policy =
+      smr::PolicyFromSpecs(threads, shuffle, group, combine);
+  const smr::StrategySpec spec = smr::ParseStrategySpec(strategy);
+  const smr::Strategy& strat =
+      smr::StrategyRegistry::Global().Require(spec.name);
+  const smr::StrategyCapabilities& caps = strat.capabilities();
 
   smr::CollectingSink collecting;
   smr::CountingSink counting;
+  const bool collect = print_limit > 0 && caps.emits_instances;
   smr::InstanceSink* sink =
-      print_limit > 0 ? static_cast<smr::InstanceSink*>(&collecting)
-                      : static_cast<smr::InstanceSink*>(&counting);
+      collect ? static_cast<smr::InstanceSink*>(&collecting)
+              : static_cast<smr::InstanceSink*>(&counting);
 
-  smr::ExecutionPolicy policy =
-      threads == 0 ? smr::ExecutionPolicy::MaxParallel()
-                   : smr::ExecutionPolicy::WithThreads(
-                         static_cast<unsigned>(std::max(1, threads)));
-  const auto shuffle_parts = SplitColons(shuffle);
-  if (shuffle_parts[0] == "sort") {
-    policy = policy.WithShuffle(smr::ShuffleMode::kSort);
-  } else if (shuffle_parts[0] == "partition") {
-    policy = policy.WithShuffle(smr::ShuffleMode::kPartitioned);
-    if (shuffle_parts.size() > 1) {
-      const int partitions = std::atoi(shuffle_parts[1].c_str());
-      if (partitions < 1) Usage("--shuffle partition:P needs P >= 1");
-      policy = policy.WithPartitions(static_cast<unsigned>(partitions));
-    }
-  } else {
-    Usage("--shuffle must be sort or partition[:P]");
-  }
-  if (group == "sort") {
-    policy = policy.WithGroup(smr::GroupMode::kSort);
-  } else if (group == "counting") {
-    policy = policy.WithGroup(smr::GroupMode::kCounting);
-  } else if (group == "auto") {
-    policy = policy.WithGroup(smr::GroupMode::kAuto);
-  } else {
-    Usage("--group must be sort, counting, or auto");
-  }
-  if (combine == "off") {
-    policy = policy.WithCombine(false);
-  } else if (combine != "on") {
-    Usage("--combine must be on or off");
-  }
+  // The query family follows the strategy's capabilities: labeled-only and
+  // directed-only strategies run on derived views of the undirected input.
+  // These views must outlive the Run call.
+  std::optional<smr::LabeledSampleGraph> labeled_pattern;
+  std::optional<smr::LabeledGraph> labeled_graph;
+  std::optional<smr::DirectedSampleGraph> directed_pattern;
+  std::optional<smr::DirectedGraph> directed_graph;
 
-  const auto strategy_parts = SplitColons(strategy);
+  const smr::SubgraphEnumerator enumerator(pattern);
+  smr::EnumerationQuery query = enumerator.MakeQuery(graph);
+  if (!caps.undirected && caps.labeled) {
+    std::printf("note:    labeled-only strategy; edges carry uniform "
+                "label 0\n");
+    labeled_pattern.emplace(UniformlyLabeled(pattern));
+    labeled_graph.emplace(UniformlyLabeled(graph));
+    query = smr::EnumerationQuery::Labeled(*labeled_pattern, *labeled_graph);
+  } else if (!caps.undirected && caps.directed) {
+    std::printf("note:    directed-only strategy; edges oriented low id -> "
+                "high id\n");
+    directed_pattern.emplace(CanonicallyOriented(pattern));
+    directed_graph.emplace(CanonicallyOriented(graph));
+    query =
+        smr::EnumerationQuery::Directed(*directed_pattern, *directed_graph);
+  } else {
+    std::printf("CQ set:  %zu conjunctive queries\n", enumerator.cqs().size());
+  }
+  query.WithSpec(spec).WithSeed(seed).WithPolicy(policy).WithSink(sink);
+
+  const smr::EnumerationResult result =
+      smr::StrategyRegistry::Global().Run(query);
+
+  if (result.resolved_spec.ToSpec() == spec.ToSpec()) {
+    std::printf("strategy: %s\n", result.resolved_spec.ToSpec().c_str());
+  } else {
+    std::printf("strategy: %s -> %s\n", spec.ToSpec().c_str(),
+                result.resolved_spec.ToSpec().c_str());
+  }
+  if (!result.plan.empty()) {
+    std::printf("plan:    %s\n", result.plan.c_str());
+  }
   if (policy.num_threads > 1) {
-    // The serial strategy never touches the engine; don't claim otherwise.
-    if (strategy_parts[0] == "serial") {
-      std::printf("engine:  --threads ignored by the serial strategy\n");
+    // Whether the engine ran is visible in the result itself — strategies
+    // without rounds (serial) never touch it; don't claim otherwise.
+    if (result.job.rounds.empty()) {
+      std::printf("engine:  not used by this strategy (--threads ignored)\n");
     } else {
-      std::printf(
-          "engine:  %u worker threads, %s shuffle (%u partitions, "
-          "%s grouping)\n",
-          policy.num_threads,
-          policy.shuffle == smr::ShuffleMode::kSort ? "sort" : "partitioned",
-          policy.shuffle == smr::ShuffleMode::kSort
-              ? 0u
-              : policy.EffectivePartitions(),
-          group.c_str());
+      std::printf("engine:  %s\n", smr::DescribePolicy(policy).c_str());
     }
   }
-  uint64_t found = 0;
-  smr::JobMetrics job;
-  bool have_job = false;
-  if (strategy_parts[0] == "serial") {
-    found = enumerator.RunSerial(graph, sink);
-    std::printf("serial enumeration: %llu instances\n",
-                static_cast<unsigned long long>(found));
-  } else if (strategy_parts[0] == "bucket") {
-    const int b = strategy_parts.size() > 1
-                      ? std::atoi(strategy_parts[1].c_str())
-                      : 8;
-    const auto metrics =
-        enumerator.RunBucketOriented(graph, b, seed, sink, policy, &job);
-    have_job = true;
-    found = metrics.outputs;
-    std::printf("bucket-oriented (b=%d): %s\n", b,
-                metrics.ToString().c_str());
-  } else if (strategy_parts[0] == "variable") {
-    const double k = strategy_parts.size() > 1
-                         ? std::atof(strategy_parts[1].c_str())
-                         : 256.0;
-    const auto plan = smr::PlanEnumeration(pattern, k);
-    std::printf("plan:    %s\n", plan.ToString().c_str());
-    const auto metrics = enumerator.RunVariableOriented(
-        graph, smr::RoundShares(plan.shares), seed, sink, policy, &job);
-    have_job = true;
-    found = metrics.outputs;
-    std::printf("variable-oriented: %s\n", metrics.ToString().c_str());
-  } else if (strategy_parts[0] == "census") {
-    // Per-node triangle counts; the pattern must be the triangle (the
-    // census is a triangle pipeline, not a generic-pattern strategy).
-    if (pattern_spec != "triangle") {
-      Usage("--strategy census requires --pattern triangle");
-    }
-    const auto result = smr::TriangleCensus(
-        graph, smr::NodeOrder::ByDegree(graph), policy);
-    job = result.job;
-    have_job = true;
-    found = result.total_triangles;
+  if (result.has_metrics) {
+    std::printf("metrics: %s\n", result.metrics.ToString().c_str());
+  }
+  if (!result.job.rounds.empty()) {
+    std::printf("job (combine %s):\n%s", policy.combine ? "on" : "off",
+                result.job.RoundTable().c_str());
+  }
+  if (!result.per_node.empty()) {
     uint64_t max_count = 0;
     smr::NodeId argmax = 0;
-    for (smr::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (smr::NodeId v = 0; v < result.per_node.size(); ++v) {
       if (result.per_node[v] > max_count) {
         max_count = result.per_node[v];
         argmax = v;
       }
     }
-    std::printf(
-        "triangle census:  %llu triangles; busiest node %u is in %llu\n",
-        static_cast<unsigned long long>(result.total_triangles), argmax,
-        static_cast<unsigned long long>(max_count));
-  } else {
-    Usage("unknown strategy");
-  }
-  if (have_job) {
-    std::printf("job (combine %s):\n%s", policy.combine ? "on" : "off",
-                job.RoundTable().c_str());
+    std::printf("census:  busiest node %u is in %llu triangles\n", argmax,
+                static_cast<unsigned long long>(max_count));
   }
 
-  if (print_limit > 0 && strategy_parts[0] != "census") {
+  if (collect) {
     const size_t show = std::min(print_limit, collecting.assignments().size());
     for (size_t i = 0; i < show; ++i) {
       std::printf("  instance:");
@@ -300,8 +362,18 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
-    found = collecting.assignments().size();
   }
-  std::printf("total: %llu\n", static_cast<unsigned long long>(found));
+  std::printf("total: %llu\n",
+              static_cast<unsigned long long>(result.instances));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunCli(argc, argv);
+  } catch (const std::exception& error) {
+    Usage(error.what());
+  }
 }

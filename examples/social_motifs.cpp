@@ -2,17 +2,18 @@
 // counts several small motifs — triangles, squares, lollipops, 5-cycles —
 // in a synthetic power-law "community" graph, comparing the communication
 // cost of bucket-oriented and share-optimized variable-oriented processing
-// for each motif.
+// for each motif through the registry-driven query API.
 //
 // Run: ./build/examples/social_motifs [num_members]
 
 #include <cstdio>
-#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "core/strategy.h"
 #include "core/subgraph_enumerator.h"
-#include "core/variable_oriented.h"
 #include "graph/generators.h"
+#include "util/parse.h"
 
 namespace {
 
@@ -24,8 +25,16 @@ struct Motif {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const smr::NodeId members =
-      argc > 1 ? static_cast<smr::NodeId>(std::atoi(argv[1])) : 400;
+  smr::NodeId members = 400;
+  if (argc > 1) {
+    const auto parsed = smr::ParseInt64(argv[1]);
+    if (!parsed || *parsed < 2 || *parsed > (int64_t{1} << 31)) {
+      std::fprintf(stderr, "error: num_members needs an integer >= 2, "
+                   "got '%s'\n", argv[1]);
+      return 2;
+    }
+    members = static_cast<smr::NodeId>(*parsed);
+  }
   // Preferential attachment mimics the heavy-tailed degree distribution of
   // real social graphs — the regime where the "curse of the last reducer"
   // [19] makes naive partitioning slow.
@@ -44,18 +53,21 @@ int main(int argc, char** argv) {
               "bucket repl", "variable repl");
   for (const Motif& motif : motifs) {
     const smr::SubgraphEnumerator enumerator(motif.pattern);
-    const auto bucket = enumerator.RunBucketOriented(network, 4, 9, nullptr);
+    auto& registry = smr::StrategyRegistry::Global();
+    const auto bucket = registry.Run(
+        enumerator.MakeQuery(network).WithStrategy("bucket:4").WithSeed(9));
     // Variable-oriented with optimizer-chosen shares at a similar reducer
     // budget.
-    const auto solution =
-        enumerator.OptimalShares(static_cast<double>(bucket.key_space));
-    const auto variable = enumerator.RunVariableOriented(
-        network, smr::RoundShares(solution.shares), 9, nullptr);
+    const auto variable = registry.Run(
+        enumerator.MakeQuery(network)
+            .WithStrategy("variable-auto:" +
+                          std::to_string(bucket.metrics.key_space))
+            .WithSeed(9));
     std::printf("%-26s %10llu %8zu | %11.1f/e %11.1f/e%s\n", motif.name,
-                static_cast<unsigned long long>(bucket.outputs),
-                enumerator.cqs().size(), bucket.ReplicationRate(),
-                variable.ReplicationRate(),
-                bucket.outputs == variable.outputs ? "" : "  DISAGREE");
+                static_cast<unsigned long long>(bucket.instances),
+                enumerator.cqs().size(), bucket.metrics.ReplicationRate(),
+                variable.metrics.ReplicationRate(),
+                bucket.instances == variable.instances ? "" : "  DISAGREE");
   }
 
   std::printf(

@@ -3,52 +3,160 @@
 #include <sstream>
 
 #include "cq/cq_generation.h"
+#include "graph/node_order.h"
 #include "shares/cost_expression.h"
 #include "shares/replication_formulas.h"
 #include "shares/share_optimizer.h"
 
 namespace smr {
 
+namespace {
+
+const char* StrategyName(StrategyPlan::Strategy s) {
+  switch (s) {
+    case StrategyPlan::Strategy::kBucketOriented:
+      return "bucket-oriented";
+    case StrategyPlan::Strategy::kVariableOriented:
+      return "variable-oriented";
+    case StrategyPlan::Strategy::kTwoRound:
+      return "two-round";
+    case StrategyPlan::Strategy::kCensus:
+      return "census";
+  }
+  return "?";
+}
+
+bool IsTriangle(const SampleGraph& pattern) {
+  return pattern.num_vars() == 3 && pattern.num_edges() == 3;
+}
+
+}  // namespace
+
+std::string StrategyPlan::RecommendedSpec() const {
+  std::ostringstream os;
+  switch (recommended) {
+    case Strategy::kBucketOriented:
+      os << "bucket:" << buckets;
+      break;
+    case Strategy::kVariableOriented:
+      os << "variable-auto:" << k;
+      break;
+    case Strategy::kTwoRound:
+      os << "tworound";
+      break;
+    case Strategy::kCensus:
+      os << "census";
+      break;
+  }
+  return os.str();
+}
+
 std::string StrategyPlan::ToString() const {
   std::ostringstream os;
-  os << "recommended="
-     << (recommended == Strategy::kBucketOriented ? "bucket-oriented"
-                                                  : "variable-oriented")
-     << " bucket(b=" << buckets << ", cost/edge=" << bucket_cost_per_edge
+  os << "recommended=" << StrategyName(recommended) << " bucket(b=" << buckets
+     << ", cost/edge=" << bucket_cost_per_edge
      << ") variable(cost/edge=" << variable_cost_per_edge << ", shares=[";
   for (size_t i = 0; i < shares.size(); ++i) {
     if (i > 0) os << ", ";
     os << shares[i];
   }
-  os << "]) cqs=" << num_cqs;
+  os << "])";
+  if (two_round_cost_per_edge > 0) {
+    os << " two-round(cost/edge=" << two_round_cost_per_edge << ")";
+  }
+  if (census_cost_per_edge > 0) {
+    os << " census(cost/edge=" << census_cost_per_edge << ")";
+  }
+  os << " cqs=" << num_cqs;
   return os.str();
 }
 
+int BucketCountForBudget(double k, int num_vars) {
+  int b = 1;
+  while (BucketOrientedReducerCount(b + 1, num_vars) <=
+         static_cast<uint64_t>(k)) {
+    ++b;
+  }
+  return b;
+}
+
+double TwoRoundCostPerEdge(uint64_t edges, uint64_t wedges) {
+  if (edges == 0) return 0;
+  return 2.0 + static_cast<double>(wedges) / static_cast<double>(edges);
+}
+
+double CensusCostPerEdge(NodeId nodes, uint64_t edges, uint64_t wedges) {
+  if (edges == 0) return 0;
+  const double n = static_cast<double>(nodes);
+  const double m = static_cast<double>(edges);
+  const double closure = n > 1 ? 2.0 * m / (n * (n - 1)) : 0.0;
+  const double triangles = static_cast<double>(wedges) * closure;
+  return TwoRoundCostPerEdge(edges, wedges) + 3.0 * triangles / m;
+}
+
+uint64_t CountOrderedWedges(const Graph& graph) {
+  const OrientedAdjacency adjacency(graph, NodeOrder::ByDegree(graph));
+  uint64_t wedges = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint64_t d = adjacency.OutDegree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
 StrategyPlan PlanEnumeration(const SampleGraph& pattern, double k) {
+  PlanInputs inputs;
+  inputs.k = k;
+  return PlanEnumeration(pattern, inputs);
+}
+
+StrategyPlan PlanEnumeration(const SampleGraph& pattern,
+                             const PlanInputs& inputs) {
   const int p = pattern.num_vars();
   StrategyPlan plan;
+  plan.k = inputs.k;
   const auto cqs = CqsForSample(pattern);
   plan.num_cqs = cqs.size();
 
   // Bucket-oriented: the largest b whose useful-reducer count fits in k.
-  int b = 1;
-  while (BucketOrientedReducerCount(b + 1, p) <=
-         static_cast<uint64_t>(k)) {
-    ++b;
-  }
-  plan.buckets = b;
+  plan.buckets = BucketCountForBudget(inputs.k, p);
   plan.bucket_cost_per_edge =
-      static_cast<double>(BucketOrientedEdgeReplication(b, p));
+      static_cast<double>(BucketOrientedEdgeReplication(plan.buckets, p));
 
   // Variable-oriented: optimizer on the merged cost expression.
   const ShareSolution solution =
-      OptimizeShares(CostExpression::ForCqSet(cqs), k);
+      OptimizeShares(CostExpression::ForCqSet(cqs), inputs.k);
   plan.shares = solution.shares;
   plan.variable_cost_per_edge = solution.cost_per_edge;
 
-  plan.recommended = plan.bucket_cost_per_edge <= plan.variable_cost_per_edge
-                         ? StrategyPlan::Strategy::kBucketOriented
-                         : StrategyPlan::Strategy::kVariableOriented;
+  // Multi-round triangle pipelines, priced only when the caller supplied
+  // the wedge statistic: round 1 ships one pair per edge, round 2 one per
+  // 2-path record plus one closing-edge marker per edge.
+  const bool multi_round = IsTriangle(pattern) && inputs.edges > 0;
+  if (multi_round) {
+    plan.two_round_cost_per_edge =
+        TwoRoundCostPerEdge(inputs.edges, inputs.wedges);
+    if (inputs.counting_only) {
+      // The counting round ships 3 pairs per triangle (model cost; the
+      // map-side combiner lowers the physical volume, not this number).
+      plan.census_cost_per_edge =
+          CensusCostPerEdge(inputs.nodes, inputs.edges, inputs.wedges);
+    }
+  }
+
+  // Cheapest eligible strategy; ties keep the earlier candidate.
+  plan.recommended = StrategyPlan::Strategy::kBucketOriented;
+  double best = plan.bucket_cost_per_edge;
+  const auto consider = [&](StrategyPlan::Strategy candidate, double cost) {
+    if (cost > 0 && cost < best) {
+      best = cost;
+      plan.recommended = candidate;
+    }
+  };
+  consider(StrategyPlan::Strategy::kVariableOriented,
+           plan.variable_cost_per_edge);
+  consider(StrategyPlan::Strategy::kTwoRound, plan.two_round_cost_per_edge);
+  consider(StrategyPlan::Strategy::kCensus, plan.census_cost_per_edge);
   return plan;
 }
 

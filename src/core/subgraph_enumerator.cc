@@ -1,36 +1,61 @@
 #include "core/subgraph_enumerator.h"
 
-#include "core/bucket_oriented.h"
-#include "core/variable_oriented.h"
+#include "core/strategy.h"
 #include "cq/cq_generation.h"
-#include "serial/matcher.h"
 #include "shares/cost_expression.h"
 
 namespace smr {
 
+namespace {
+
+/// All wrappers funnel through the registry so the legacy surface and the
+/// Query/Strategy/Result API are provably the same code path (the golden
+/// regression tests pin the wrappers).
+MapReduceMetrics RunViaRegistry(EnumerationQuery query, JobMetrics* job) {
+  EnumerationResult result = StrategyRegistry::Global().Run(query);
+  if (job != nullptr) *job = std::move(result.job);
+  return result.metrics;
+}
+
+}  // namespace
+
 SubgraphEnumerator::SubgraphEnumerator(SampleGraph pattern)
     : pattern_(std::move(pattern)), cqs_(CqsForSample(pattern_)) {}
+
+EnumerationQuery SubgraphEnumerator::MakeQuery(const Graph& graph) const {
+  EnumerationQuery query = EnumerationQuery::Undirected(pattern_, graph);
+  query.cqs = &cqs_;
+  return query;
+}
 
 MapReduceMetrics SubgraphEnumerator::RunBucketOriented(
     const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
     const ExecutionPolicy& policy, JobMetrics* job) const {
-  return BucketOrientedEnumerate(pattern_, cqs_, graph, buckets, seed, sink,
-                                 policy, job);
+  EnumerationQuery query = MakeQuery(graph);
+  query.spec.name = "bucket";
+  query.spec.values = {TunableValue::Int(buckets)};
+  query.WithSeed(seed).WithPolicy(policy).WithSink(sink);
+  return RunViaRegistry(std::move(query), job);
 }
 
 MapReduceMetrics SubgraphEnumerator::RunVariableOriented(
     const Graph& graph, const std::vector<int>& shares, uint64_t seed,
     InstanceSink* sink, const ExecutionPolicy& policy, JobMetrics* job) const {
-  return VariableOrientedEnumerate(pattern_, cqs_, graph, shares, seed, sink,
-                                   policy, job);
+  EnumerationQuery query = MakeQuery(graph);
+  query.spec.name = "variable";
+  query.spec.values = {TunableValue::IntList(shares)};
+  query.WithSeed(seed).WithPolicy(policy).WithSink(sink);
+  return RunViaRegistry(std::move(query), job);
 }
 
 MapReduceMetrics SubgraphEnumerator::RunVariableOrientedAuto(
     const Graph& graph, double k, uint64_t seed, InstanceSink* sink,
     const ExecutionPolicy& policy, JobMetrics* job) const {
-  const ShareSolution solution = OptimalShares(k);
-  return RunVariableOriented(graph, RoundShares(solution.shares), seed, sink,
-                             policy, job);
+  EnumerationQuery query = MakeQuery(graph);
+  query.spec.name = "variable-auto";
+  query.spec.values = {TunableValue::Double(k)};
+  query.WithSeed(seed).WithPolicy(policy).WithSink(sink);
+  return RunViaRegistry(std::move(query), job);
 }
 
 ShareSolution SubgraphEnumerator::OptimalShares(double k) const {
@@ -39,7 +64,10 @@ ShareSolution SubgraphEnumerator::OptimalShares(double k) const {
 
 uint64_t SubgraphEnumerator::RunSerial(const Graph& graph,
                                        InstanceSink* sink) const {
-  return EnumerateInstances(pattern_, graph, sink, nullptr);
+  EnumerationQuery query = MakeQuery(graph);
+  query.spec.name = "serial";
+  query.WithSink(sink);
+  return StrategyRegistry::Global().Run(query).instances;
 }
 
 }  // namespace smr

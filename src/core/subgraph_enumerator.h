@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/strategy.h"
 #include "cq/conjunctive_query.h"
 #include "graph/graph.h"
 #include "graph/sample_graph.h"
@@ -15,20 +16,20 @@
 
 namespace smr {
 
-/// Public facade of the library: builds the CQ set for a sample graph once
-/// (Section 3) and runs any of the paper's single-round map-reduce
-/// strategies, or the reference serial algorithm, against data graphs.
-///
-/// Typical use:
+/// Legacy facade of the library, kept as thin wrappers over the
+/// registry-driven Query/Strategy/Result API of core/strategy.h. It still
+/// earns its keep by building the CQ set for a sample graph once
+/// (Section 3) and threading it into every query via MakeQuery(), but new
+/// code should talk to the registry directly:
 ///
 ///   SubgraphEnumerator enumerator(SampleGraph::Square());
 ///   CountingSink count;
-///   MapReduceMetrics metrics =
-///       enumerator.RunBucketOriented(graph, /*buckets=*/8, /*seed=*/1,
-///                                    &count);
+///   EnumerationResult result = StrategyRegistry::Global().Run(
+///       enumerator.MakeQuery(graph).WithStrategy("bucket:8")
+///           .WithSink(&count));
 ///
 /// All strategies emit every instance exactly once; `sink` may be null to
-/// just count (the count is in metrics.outputs).
+/// just count (the count is in metrics.outputs / result.instances).
 class SubgraphEnumerator {
  public:
   explicit SubgraphEnumerator(SampleGraph pattern);
@@ -38,25 +39,34 @@ class SubgraphEnumerator {
   /// The merged CQ set of Section 3 (quotient group + orientation merge).
   const std::vector<ConjunctiveQuery>& cqs() const { return cqs_; }
 
-  /// Bucket-oriented processing (Section 4.5): same b for every variable,
-  /// C(b+p-1, p) reducers, replication C(b+p-3, p-2) per edge. `policy`
-  /// chooses how many host threads simulate the reducers; results are
-  /// identical for every thread count. A non-null `job` receives the
-  /// JobMetrics round summary (as for every strategy below).
+  /// An undirected query against `graph` with this enumerator's cached CQ
+  /// set attached — the preferred entry point. Set the strategy, seed,
+  /// policy, and sink with the With* builders, then hand it to
+  /// StrategyRegistry::Global().Run.
+  EnumerationQuery MakeQuery(const Graph& graph) const;
+
+  /// \deprecated Wrapper over Run of the registered "bucket" strategy
+  /// (Section 4.5): same b for every variable, C(b+p-1, p) reducers,
+  /// replication C(b+p-3, p-2) per edge. `policy` chooses how many host
+  /// threads simulate the reducers; results are identical for every thread
+  /// count. A non-null `job` receives the JobMetrics round summary (as for
+  /// every strategy below).
   MapReduceMetrics RunBucketOriented(
       const Graph& graph, int buckets, uint64_t seed, InstanceSink* sink,
       const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
       JobMetrics* job = nullptr) const;
 
-  /// Variable-oriented processing (Section 4.3) with explicit shares.
+  /// \deprecated Wrapper over the "variable" strategy (Section 4.3) with
+  /// explicit shares. An empty `shares` vector now means "optimizer shares
+  /// at the default budget" (the registered strategy's default).
   MapReduceMetrics RunVariableOriented(
       const Graph& graph, const std::vector<int>& shares, uint64_t seed,
       InstanceSink* sink,
       const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
       JobMetrics* job = nullptr) const;
 
-  /// Variable-oriented processing with shares chosen by the optimizer of
-  /// Section 4.1 for a reducer budget of (approximately) k.
+  /// \deprecated Wrapper over the "variable-auto" strategy: shares chosen
+  /// by the optimizer of Section 4.1 for a reducer budget of k.
   MapReduceMetrics RunVariableOrientedAuto(
       const Graph& graph, double k, uint64_t seed, InstanceSink* sink,
       const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
@@ -66,7 +76,7 @@ class SubgraphEnumerator {
   /// (variable-oriented cost expression, Section 4.3).
   ShareSolution OptimalShares(double k) const;
 
-  /// Reference serial enumeration (ground truth).
+  /// \deprecated Wrapper over the "serial" strategy (ground truth).
   uint64_t RunSerial(const Graph& graph, InstanceSink* sink) const;
 
  private:

@@ -1,0 +1,98 @@
+#include "mapreduce/policy_spec.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.h"
+
+namespace smr {
+
+namespace {
+
+[[noreturn]] void PolicyError(const std::string& message) {
+  throw std::invalid_argument("policy spec: " + message);
+}
+
+}  // namespace
+
+ExecutionPolicy PolicyFromSpecs(std::string_view threads,
+                                std::string_view shuffle,
+                                std::string_view group,
+                                std::string_view combine) {
+  const auto thread_count = ParseInt64(threads);
+  if (!thread_count || *thread_count < 0 ||
+      *thread_count > 1 << 20) {
+    PolicyError("threads needs a nonnegative integer (0 = max parallel), "
+                "got '" + std::string(threads) + "'");
+  }
+  ExecutionPolicy policy =
+      *thread_count == 0
+          ? ExecutionPolicy::MaxParallel()
+          : ExecutionPolicy::WithThreads(static_cast<unsigned>(*thread_count));
+
+  if (shuffle == "sort") {
+    policy = policy.WithShuffle(ShuffleMode::kSort);
+  } else if (shuffle == "partition" || shuffle.rfind("partition:", 0) == 0) {
+    policy = policy.WithShuffle(ShuffleMode::kPartitioned);
+    if (shuffle != "partition") {
+      // Everything after "partition:" must be a valid count — a trailing
+      // colon with nothing behind it is rejected, not defaulted.
+      const auto partitions = ParseInt64(shuffle.substr(10));
+      if (!partitions || *partitions < 1 || *partitions > 1 << 20) {
+        PolicyError("shuffle partition:P needs P >= 1, got '" +
+                    std::string(shuffle) + "'");
+      }
+      policy = policy.WithPartitions(static_cast<unsigned>(*partitions));
+    }
+  } else {
+    PolicyError("shuffle must be sort or partition[:P], got '" +
+                std::string(shuffle) + "'");
+  }
+
+  if (group == "sort") {
+    policy = policy.WithGroup(GroupMode::kSort);
+  } else if (group == "counting") {
+    policy = policy.WithGroup(GroupMode::kCounting);
+  } else if (group == "auto") {
+    policy = policy.WithGroup(GroupMode::kAuto);
+  } else {
+    PolicyError("group must be sort, counting, or auto, got '" +
+                std::string(group) + "'");
+  }
+
+  if (combine == "off") {
+    policy = policy.WithCombine(false);
+  } else if (combine != "on") {
+    PolicyError("combine must be on or off, got '" + std::string(combine) +
+                "'");
+  }
+  return policy;
+}
+
+std::string DescribePolicy(const ExecutionPolicy& policy) {
+  std::ostringstream os;
+  os << policy.num_threads
+     << (policy.num_threads == 1 ? " thread, " : " threads, ");
+  if (policy.shuffle == ShuffleMode::kSort) {
+    os << "sort shuffle";
+  } else {
+    os << "partitioned shuffle (" << policy.EffectivePartitions()
+       << " partitions, ";
+    switch (policy.group) {
+      case GroupMode::kSort:
+        os << "sort";
+        break;
+      case GroupMode::kCounting:
+        os << "counting";
+        break;
+      case GroupMode::kAuto:
+        os << "auto";
+        break;
+    }
+    os << " grouping)";
+  }
+  os << ", combine " << (policy.combine ? "on" : "off");
+  return os.str();
+}
+
+}  // namespace smr

@@ -1,0 +1,34 @@
+#ifndef SMR_MAPREDUCE_POLICY_SPEC_H_
+#define SMR_MAPREDUCE_POLICY_SPEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "mapreduce/execution_policy.h"
+
+namespace smr {
+
+/// Textual specs for ExecutionPolicy knobs — the one parser shared by
+/// smr_cli, tests, and benches, with checked numeric parsing throughout
+/// (garbage and overflow raise std::invalid_argument instead of silently
+/// running with 0). Specs:
+///
+///   threads  "N"               0 = one per hardware context
+///   shuffle  "partition[:P]"   P = partition count (default auto)
+///            "sort"            the single-global-sort reference
+///   group    "auto" | "counting" | "sort"
+///   combine  "on" | "off"
+///
+/// Every spec changes only host scheduling, never results.
+ExecutionPolicy PolicyFromSpecs(std::string_view threads,
+                                std::string_view shuffle,
+                                std::string_view group,
+                                std::string_view combine);
+
+/// One-line human-readable summary ("4 threads, partitioned shuffle
+/// (16 partitions, auto grouping), combine on").
+std::string DescribePolicy(const ExecutionPolicy& policy);
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_POLICY_SPEC_H_

@@ -1,0 +1,40 @@
+#include "util/parse.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace smr {
+namespace {
+
+template <typename T>
+std::optional<T> ParseWith(std::string_view text) {
+  // from_chars accepts a leading '-' for signed types but never whitespace
+  // or a leading '+'; requiring ec == no error *and* full consumption
+  // rejects "", "12x", " 12", "1e99999" and out-of-range values alike.
+  T value;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  return ParseWith<int64_t>(text);
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view text) {
+  if (!text.empty() && text.front() == '-') return std::nullopt;
+  return ParseWith<uint64_t>(text);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  const auto value = ParseWith<double>(text);
+  // Reject inf/nan spellings and overflowed literals: every spec number
+  // must be an ordinary finite value.
+  if (value && !std::isfinite(*value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace smr

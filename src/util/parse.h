@@ -1,0 +1,21 @@
+#ifndef SMR_UTIL_PARSE_H_
+#define SMR_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace smr {
+
+/// Strict whole-string numeric parses. Unlike std::atoi/atoll/atof — which
+/// silently return 0 on garbage and have undefined behavior on overflow —
+/// these consume the *entire* input or return nullopt: no leading
+/// whitespace, no trailing characters, overflow rejected. They are the only
+/// way user-supplied specs (CLI flags, strategy tunables) become numbers.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<uint64_t> ParseUint64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_PARSE_H_

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include "core/plan_advisor.h"
+#include "core/strategy.h"
 #include "core/subgraph_enumerator.h"
+#include "core/two_round_triangles.h"
 #include "graph/generators.h"
+#include "graph/node_order.h"
 #include "serial/sampled_triangles.h"
 #include "serial/triangles.h"
 #include "shares/replication_formulas.h"
@@ -41,6 +44,103 @@ TEST(PlanAdvisor, ToStringMentionsRecommendation) {
   const StrategyPlan plan = PlanEnumeration(SampleGraph::Lollipop(), 500);
   EXPECT_NE(plan.ToString().find("recommended="), std::string::npos);
   EXPECT_NE(plan.ToString().find("cqs=6"), std::string::npos);
+}
+
+TEST(PlanAdvisor, TwoRoundPredictionMatchesMeasurement) {
+  // With the wedge statistic supplied, the two-round prediction is exact:
+  // round 1 ships one pair per edge, round 2 one per 2-path plus one
+  // closing-edge marker per edge.
+  const Graph g = ErdosRenyi(200, 800, 1);
+  PlanInputs inputs;
+  inputs.k = 500;
+  inputs.nodes = g.num_nodes();
+  inputs.edges = g.num_edges();
+  inputs.wedges = CountOrderedWedges(g);
+  const StrategyPlan plan =
+      PlanEnumeration(SampleGraph::Triangle(), inputs);
+  ASSERT_GT(plan.two_round_cost_per_edge, 0);
+
+  const TwoRoundMetrics measured =
+      TwoRoundTriangles(g, NodeOrder::ByDegree(g), nullptr);
+  EXPECT_DOUBLE_EQ(plan.two_round_cost_per_edge,
+                   static_cast<double>(measured.TotalKeyValuePairs()) /
+                       static_cast<double>(g.num_edges()));
+}
+
+TEST(PlanAdvisor, CensusPricedOnlyForCountingOnlyQueries) {
+  const Graph g = ErdosRenyi(200, 800, 1);
+  PlanInputs inputs;
+  inputs.k = 500;
+  inputs.nodes = g.num_nodes();
+  inputs.edges = g.num_edges();
+  inputs.wedges = CountOrderedWedges(g);
+
+  inputs.counting_only = false;
+  const StrategyPlan emitting =
+      PlanEnumeration(SampleGraph::Triangle(), inputs);
+  EXPECT_EQ(emitting.census_cost_per_edge, 0);
+  EXPECT_NE(emitting.recommended, StrategyPlan::Strategy::kCensus);
+
+  inputs.counting_only = true;
+  const StrategyPlan counting =
+      PlanEnumeration(SampleGraph::Triangle(), inputs);
+  EXPECT_GT(counting.census_cost_per_edge,
+            counting.two_round_cost_per_edge);
+}
+
+TEST(PlanAdvisor, MultiRoundPlansNeedTriangleAndStatistics) {
+  // Without data statistics (the legacy two-argument overload) or off the
+  // triangle pattern, the multi-round predictions stay at 0 and the
+  // recommendation is one of the one-round strategies.
+  const StrategyPlan no_stats =
+      PlanEnumeration(SampleGraph::Triangle(), 500);
+  EXPECT_EQ(no_stats.two_round_cost_per_edge, 0);
+  EXPECT_EQ(no_stats.census_cost_per_edge, 0);
+
+  PlanInputs inputs;
+  inputs.k = 126;
+  inputs.nodes = 200;
+  inputs.edges = 800;
+  inputs.wedges = 5000;
+  inputs.counting_only = true;
+  const StrategyPlan square = PlanEnumeration(SampleGraph::Square(), inputs);
+  EXPECT_EQ(square.two_round_cost_per_edge, 0);
+  EXPECT_TRUE(square.recommended ==
+                  StrategyPlan::Strategy::kBucketOriented ||
+              square.recommended ==
+                  StrategyPlan::Strategy::kVariableOriented);
+}
+
+TEST(PlanAdvisor, RecommendedSpecParsesAgainstTheRegistry) {
+  const Graph g = ErdosRenyi(200, 800, 1);
+  PlanInputs inputs;
+  inputs.k = 500;
+  inputs.nodes = g.num_nodes();
+  inputs.edges = g.num_edges();
+  inputs.wedges = CountOrderedWedges(g);
+  inputs.counting_only = true;
+  const StrategyPlan plan =
+      PlanEnumeration(SampleGraph::Triangle(), inputs);
+  // Whatever the advisor recommends is directly runnable by name.
+  const StrategySpec spec = ParseStrategySpec(plan.RecommendedSpec());
+  EXPECT_FALSE(spec.name.empty());
+
+  const StrategyPlan one_round = PlanEnumeration(SampleGraph::Square(), 126);
+  EXPECT_FALSE(
+      ParseStrategySpec(one_round.RecommendedSpec()).name.empty());
+}
+
+TEST(PlanAdvisor, ToStringMentionsMultiRoundCostsWhenPriced) {
+  PlanInputs inputs;
+  inputs.k = 500;
+  inputs.nodes = 100;
+  inputs.edges = 400;
+  inputs.wedges = 2000;
+  inputs.counting_only = true;
+  const StrategyPlan plan =
+      PlanEnumeration(SampleGraph::Triangle(), inputs);
+  EXPECT_NE(plan.ToString().find("two-round(cost/edge="), std::string::npos);
+  EXPECT_NE(plan.ToString().find("census(cost/edge="), std::string::npos);
 }
 
 TEST(SampledTriangles, FullProbabilityIsExact) {

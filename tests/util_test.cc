@@ -6,6 +6,7 @@
 #include "util/combinatorics.h"
 #include "util/cost_model.h"
 #include "util/hashing.h"
+#include "util/parse.h"
 #include "util/rng.h"
 
 namespace smr {
@@ -186,6 +187,34 @@ TEST(CostCounter, AccumulatesAndResets) {
   EXPECT_EQ(a.Total(), 17u);
   a.Reset();
   EXPECT_EQ(a.Total(), 0u);
+}
+
+TEST(Parse, Int64AcceptsWholeStringIntegersOnly) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("-42"), -42);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), INT64_MAX);
+  for (const char* bad :
+       {"", " 1", "1 ", "+1", "1.5", "abc", "12x", "0x10",
+        "9223372036854775808", "99999999999999999999"}) {
+    EXPECT_FALSE(ParseInt64(bad).has_value()) << bad;
+  }
+}
+
+TEST(Parse, Uint64RejectsNegatives) {
+  EXPECT_EQ(ParseUint64("18446744073709551615"), UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("-1").has_value());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());
+}
+
+TEST(Parse, DoubleIsStrictAndFinite) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("256"), 256.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  for (const char* bad : {"", "nan", "inf", "-inf", "1.5x", " 1.5", "1e"}) {
+    EXPECT_FALSE(ParseDouble(bad).has_value()) << bad;
+  }
+  // Overflowing literals are rejected rather than clamped.
+  EXPECT_FALSE(ParseDouble("1e99999").has_value());
 }
 
 }  // namespace
