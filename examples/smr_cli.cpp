@@ -32,7 +32,7 @@ namespace {
 constexpr const char kHelp[] = R"(usage:
   smr_cli --pattern <name> --input <spec> [--strategy <spec>] [--seed N]
           [--threads N] [--shuffle S] [--group G] [--combine C]
-          [--stats] [--print N]
+          [--budget B] [--stats] [--print N]
   smr_cli --list-strategies
   smr_cli --help
 
@@ -40,7 +40,7 @@ constexpr const char kHelp[] = R"(usage:
               cycle:<p> | clique:<p> | hypercube:<d>
   --input     er:<n>:<m>:<seed>   (Erdos-Renyi)
               pa:<n>:<deg>:<seed> (preferential attachment)
-              file:<path>         (edge list)
+              file:<path>         (edge list, text or binary — sniffed)
   --strategy  any registered strategy spec (default bucket:8); see
               --list-strategies for names, tunables, and capabilities.
               Notables:
@@ -66,6 +66,10 @@ constexpr const char kHelp[] = R"(usage:
   --group     auto (default) | counting | sort: how the partitioned
               shuffle groups each partition.
   --combine   on (default) | off: apply declared map-side combiners.
+  --budget    shuffle memory budget in bytes; byte-size suffixes accepted
+              (64K, 512M, 2G). 0 (default) = unbounded. With a budget the
+              engine spills sorted runs to temp files and streams them
+              back; results are identical, only spill counters change.
   --seed      bucket-hash seed (default 1)
   --stats     print graph statistics first
   --print N   print the first N instances found
@@ -158,7 +162,7 @@ smr::Graph ParseInput(const std::string& spec) {
             RequireInt(parts[3], 0, INT64_MAX, "--input pa seed")));
   }
   if (parts[0] == "file" && parts.size() == 2) {
-    return smr::ReadEdgeListFile(parts[1]);
+    return smr::LoadGraphFile(parts[1]);
   }
   Usage("bad --input spec '" + spec + "'");
 }
@@ -218,6 +222,7 @@ int RunCli(int argc, char** argv) {
   std::string shuffle = "partition";
   std::string group = "auto";
   std::string combine = "on";
+  std::string budget = "0";
   uint64_t seed = 1;
   bool stats = false;
   size_t print_limit = 0;
@@ -250,6 +255,8 @@ int RunCli(int argc, char** argv) {
       group = next();
     } else if (arg == "--combine") {
       combine = next();
+    } else if (arg == "--budget") {
+      budget = next();
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
@@ -271,7 +278,7 @@ int RunCli(int argc, char** argv) {
   }
 
   const smr::ExecutionPolicy policy =
-      smr::PolicyFromSpecs(threads, shuffle, group, combine);
+      smr::PolicyFromSpecs(threads, shuffle, group, combine, budget);
   const smr::StrategySpec spec = smr::ParseStrategySpec(strategy);
   const smr::Strategy& strat =
       smr::StrategyRegistry::Global().Require(spec.name);

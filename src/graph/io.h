@@ -19,6 +19,22 @@ Graph ReadEdgeListFile(const std::string& path);
 /// Writes "u v" per line.
 void WriteEdgeList(const Graph& graph, std::ostream& out);
 
+/// Binary edge-list format, for graphs too large to re-parse as text
+/// (bench_out_of_core generates and loads these): the 8-byte header
+/// "SMRB" + version, then num_nodes and num_edges as u64, then num_edges
+/// pairs of u32 endpoints, all native-endian. Readers validate
+/// exhaustively — bad magic, unknown version, truncation mid-header or
+/// mid-edges, trailing bytes, and endpoint ids >= num_nodes all throw
+/// std::runtime_error (naming the file for the *File variants) rather
+/// than yielding a silently wrong graph.
+void WriteBinaryEdgeList(const Graph& graph, std::ostream& out);
+void WriteBinaryEdgeListFile(const Graph& graph, const std::string& path);
+Graph ReadBinaryEdgeList(std::istream& in);
+Graph ReadBinaryEdgeListFile(const std::string& path);
+
+/// Loads a graph file of either format, sniffing the binary magic.
+Graph LoadGraphFile(const std::string& path);
+
 }  // namespace smr
 
 #endif  // SMR_GRAPH_IO_H_

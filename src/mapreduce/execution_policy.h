@@ -10,6 +10,8 @@
 
 namespace smr {
 
+class SpillBackend;  // mapreduce/spill.h
+
 /// How the engine groups mapper emissions by key before the reduce phase.
 /// Both modes are deterministic and produce identical metrics and sink
 /// emissions; they differ only in host-side wall-clock behavior.
@@ -69,6 +71,24 @@ struct ExecutionPolicy {
   /// are identical in every mode.
   GroupMode group = GroupMode::kAuto;
 
+  /// Shuffle memory budget in bytes; 0 = unbounded (all emissions stay in
+  /// memory — the original engine). With a budget, both shuffle modes
+  /// route their emission buffers through the paged spill store
+  /// (mapreduce/spill.h): map workers spill stable-sorted runs to temp
+  /// files whenever the job's resident shuffle bytes exceed the budget,
+  /// and the reduce phase streams each partition back as a merge of its
+  /// runs plus the resident tail. Results — instances, emission order,
+  /// and semantic metrics — are byte-identical to the unbounded run at
+  /// every thread count; only ShuffleStats' spill counters change. The one
+  /// exception: a Value type the spill store cannot serialize
+  /// (SpillTraits<V>::kSpillable == false — no such type exists in the
+  /// repository) keeps the unbounded path.
+  uint64_t shuffle_budget_bytes = 0;
+
+  /// Spill-file factory for budgeted rounds; null = the process default
+  /// (real temp files). Tests inject fault backends here.
+  SpillBackend* spill_backend = nullptr;
+
   /// Map-side combining: when a RoundSpec declares an associative
   /// combiner, apply it (per-worker pre-aggregation plus the reduce-side
   /// fold — see engine.h). Turning this off ships every raw emission, for
@@ -121,6 +141,18 @@ struct ExecutionPolicy {
   ExecutionPolicy WithCombine(bool on) const {
     ExecutionPolicy policy = *this;
     policy.combine = on;
+    return policy;
+  }
+
+  ExecutionPolicy WithBudget(uint64_t bytes) const {
+    ExecutionPolicy policy = *this;
+    policy.shuffle_budget_bytes = bytes;
+    return policy;
+  }
+
+  ExecutionPolicy WithSpillBackend(SpillBackend* backend) const {
+    ExecutionPolicy policy = *this;
+    policy.spill_backend = backend;
     return policy;
   }
 

@@ -28,6 +28,11 @@ std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
        << " grouping=counting:" << m.shuffle.counting_partitions
        << "+sorted:" << m.shuffle.sorted_partitions;
   }
+  if (m.shuffle.spill_files > 0) {
+    os << " spill=pages:" << m.shuffle.pages_spilled
+       << "+bytes:" << m.shuffle.bytes_spilled
+       << "+files:" << m.shuffle.spill_files;
+  }
   if (m.shuffle.pool_threads_spawned + m.shuffle.pool_tasks_reused > 0) {
     os << " pool=spawned:" << m.shuffle.pool_threads_spawned
        << "+reused:" << m.shuffle.pool_tasks_reused;

@@ -45,6 +45,17 @@ struct ShuffleStats {
   uint64_t counting_partitions = 0;
   uint64_t sorted_partitions = 0;
 
+  /// Out-of-core accounting for budgeted rounds (ExecutionPolicy::
+  /// shuffle_budget_bytes > 0; see mapreduce/spill.h): fixed-size KV pages
+  /// written to spill files, serialized bytes spilled, and temp files
+  /// created. All zero for unbounded rounds and for budgeted rounds whose
+  /// resident volume never crossed the budget. Like everything in
+  /// ShuffleStats these describe host scheduling, not the simulated round,
+  /// and are excluded from semantic equality.
+  uint64_t pages_spilled = 0;
+  uint64_t bytes_spilled = 0;
+  uint64_t spill_files = 0;
+
   /// Persistent-pool accounting for this round's parallel phases: threads
   /// the policy's ThreadPool had to create vs worker tasks served by
   /// already-parked threads. A multi-round job under one JobDriver spawns

@@ -18,7 +18,8 @@ namespace {
 ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                                 std::string_view shuffle,
                                 std::string_view group,
-                                std::string_view combine) {
+                                std::string_view combine,
+                                std::string_view budget) {
   const auto thread_count = ParseInt64(threads);
   if (!thread_count || *thread_count < 0 ||
       *thread_count > 1 << 20) {
@@ -66,6 +67,13 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
     PolicyError("combine must be on or off, got '" + std::string(combine) +
                 "'");
   }
+
+  const auto budget_bytes = ParseByteSize(budget);
+  if (!budget_bytes) {
+    PolicyError("budget needs a byte size (e.g. 0, 4096, 64K, 512M, 2G), "
+                "got '" + std::string(budget) + "'");
+  }
+  policy = policy.WithBudget(*budget_bytes);
   return policy;
 }
 
@@ -92,6 +100,9 @@ std::string DescribePolicy(const ExecutionPolicy& policy) {
     os << " grouping)";
   }
   os << ", combine " << (policy.combine ? "on" : "off");
+  if (policy.shuffle_budget_bytes > 0) {
+    os << ", budget " << policy.shuffle_budget_bytes << " bytes";
+  }
   return os.str();
 }
 

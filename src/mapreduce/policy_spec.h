@@ -18,12 +18,15 @@ namespace smr {
 ///            "sort"            the single-global-sort reference
 ///   group    "auto" | "counting" | "sort"
 ///   combine  "on" | "off"
+///   budget   "0" | "BYTES"     shuffle memory budget; byte-size suffixes
+///            ("64K", "512M", "2G") accepted, 0 = unbounded (never spill)
 ///
 /// Every spec changes only host scheduling, never results.
 ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                                 std::string_view shuffle,
                                 std::string_view group,
-                                std::string_view combine);
+                                std::string_view combine,
+                                std::string_view budget = "0");
 
 /// One-line human-readable summary ("4 threads, partitioned shuffle
 /// (16 partitions, auto grouping), combine on").

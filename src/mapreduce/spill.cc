@@ -1,0 +1,103 @@
+#include "mapreduce/spill.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace smr {
+namespace {
+
+[[noreturn]] void SpillError(const std::string& path,
+                             const std::string& what, int err) {
+  std::string message = "spill file " + path + ": " + what;
+  if (err != 0) {
+    message += ": ";
+    message += std::strerror(err);
+  }
+  throw std::runtime_error(message);
+}
+
+/// Real temp file. Unlinked immediately after creation: the name vanishes
+/// from the filesystem at once, and the kernel reclaims the blocks when
+/// the descriptor closes — on clean destruction, on an exception unwinding
+/// the owning channel, or on process death. No cleanup code path can leak
+/// a file.
+class PosixSpillFile final : public SpillFile {
+ public:
+  PosixSpillFile() {
+    const char* tmpdir = std::getenv("TMPDIR");
+    path_ = std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir
+                                                             : "/tmp") +
+            "/smr-spill-XXXXXX";
+    // mkstemp mutates its template in place.
+    std::vector<char> name(path_.begin(), path_.end());
+    name.push_back('\0');
+    fd_ = ::mkstemp(name.data());
+    if (fd_ < 0) SpillError(path_, "mkstemp failed", errno);
+    path_.assign(name.data());
+    ::unlink(name.data());
+  }
+
+  ~PosixSpillFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Append(const void* data, size_t bytes) override {
+    const char* cursor = static_cast<const char*>(data);
+    size_t remaining = bytes;
+    while (remaining > 0) {
+      const ssize_t written = ::write(fd_, cursor, remaining);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        SpillError(path_, "write failed", errno);
+      }
+      if (written == 0) SpillError(path_, "short write", 0);
+      cursor += written;
+      remaining -= static_cast<size_t>(written);
+    }
+  }
+
+  void ReadAt(uint64_t offset, void* out, size_t bytes) override {
+    char* cursor = static_cast<char*>(out);
+    size_t remaining = bytes;
+    uint64_t position = offset;
+    while (remaining > 0) {
+      const ssize_t got =
+          ::pread(fd_, cursor, remaining, static_cast<off_t>(position));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        SpillError(path_, "pread failed", errno);
+      }
+      if (got == 0) SpillError(path_, "short read (truncated spill)", 0);
+      cursor += got;
+      remaining -= static_cast<size_t>(got);
+      position += static_cast<uint64_t>(got);
+    }
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+class PosixSpillBackend final : public SpillBackend {
+ public:
+  std::unique_ptr<SpillFile> Create() override {
+    return std::make_unique<PosixSpillFile>();
+  }
+};
+
+}  // namespace
+
+SpillBackend& DefaultSpillBackend() {
+  static PosixSpillBackend backend;
+  return backend;
+}
+
+}  // namespace smr

@@ -1,6 +1,7 @@
 #ifndef SMR_UTIL_FLAT_MAP_H_
 #define SMR_UTIL_FLAT_MAP_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -56,6 +57,15 @@ class FlatMap64 {
   }
 
   size_t size() const { return size_; }
+
+  /// Empties the table, keeping its capacity (the combining Emitter drops
+  /// all remembered bucket positions after a spill — see mapreduce/spill.h).
+  void Clear() {
+    std::fill(entries_.begin(), entries_.end(), Entry{});
+    size_ = 0;
+    has_sentinel_key_ = false;
+    sentinel_value_ = 0;
+  }
 
   /// Pre-sizes the table for `n` keys without rehashing on the way there.
   void reserve(size_t n) {

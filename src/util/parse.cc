@@ -29,6 +29,26 @@ std::optional<uint64_t> ParseUint64(std::string_view text) {
   return ParseWith<uint64_t>(text);
 }
 
+std::optional<uint64_t> ParseByteSize(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  unsigned shift = 0;
+  switch (text.back()) {
+    case 'k': case 'K': shift = 10; break;
+    case 'm': case 'M': shift = 20; break;
+    case 'g': case 'G': shift = 30; break;
+    case 't': case 'T': shift = 40; break;
+    default: break;
+  }
+  if (shift > 0) text.remove_suffix(1);
+  const auto value = ParseUint64(text);
+  if (!value) return std::nullopt;
+  // Scaling must not wrap: v << shift fits iff v < 2^(64 - shift).
+  if (shift > 0 && *value >= (uint64_t{1} << (64 - shift))) {
+    return std::nullopt;
+  }
+  return *value << shift;
+}
+
 std::optional<double> ParseDouble(std::string_view text) {
   const auto value = ParseWith<double>(text);
   // Reject inf/nan spellings and overflowed literals: every spec number

@@ -16,6 +16,12 @@ std::optional<int64_t> ParseInt64(std::string_view text);
 std::optional<uint64_t> ParseUint64(std::string_view text);
 std::optional<double> ParseDouble(std::string_view text);
 
+/// Byte sizes with an optional binary-unit suffix: "4096", "64K", "512M",
+/// "2G", "1T" (case-insensitive, K = 1024). Same strictness as the parses
+/// above — the whole string must be a number plus at most one suffix
+/// letter, and a value whose scaled result overflows uint64 is rejected.
+std::optional<uint64_t> ParseByteSize(std::string_view text);
+
 }  // namespace smr
 
 #endif  // SMR_UTIL_PARSE_H_

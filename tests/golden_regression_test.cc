@@ -97,5 +97,38 @@ TEST(GoldenFig2, ParallelRunsPinnedToSameGoldens) {
   EXPECT_EQ(ordered.outputs, 2293u);
 }
 
+TEST(GoldenBudgetInvariance, Fig1AndFig2PinsHoldUnderTinySpillBudget) {
+  // The goldens are budget-invariant: a shuffle budget small enough to
+  // force spilling on every round must reproduce the exact Fig. 1 / Fig. 2
+  // quantities. A spill-path bug that perturbs counts, grouping, or
+  // emission order fails these pins, not just the synthetic fuzz rounds.
+  const ExecutionPolicy tiny_budget =
+      ExecutionPolicy::WithThreads(2).WithBudget(64 * 1024);
+
+  const Graph fig1 = ErdosRenyi(2000, 20000, 42);
+  const MapReduceMetrics partition =
+      PartitionTriangles(fig1, 15, 1, nullptr, tiny_budget);
+  EXPECT_EQ(partition.key_value_pairs, 362024u);
+  EXPECT_EQ(partition.distinct_keys, 455u);
+  EXPECT_EQ(partition.outputs, 1388u);
+  EXPECT_GT(partition.shuffle.pages_spilled, 0u)
+      << "the 64 KiB budget did not force a spill — the invariance proof "
+         "needs the spill path to actually run";
+
+  const Graph fig2 = ErdosRenyi(3000, 36000, 7);
+  const MapReduceMetrics ordered =
+      OrderedBucketTriangles(fig2, 10, 3, nullptr, tiny_budget);
+  EXPECT_EQ(ordered.key_value_pairs, 360000u);
+  EXPECT_EQ(ordered.distinct_keys, 220u);
+  EXPECT_EQ(ordered.outputs, 2293u);
+  EXPECT_GT(ordered.shuffle.pages_spilled, 0u);
+
+  const MapReduceMetrics multiway =
+      MultiwayJoinTriangles(fig2, 6, 3, nullptr, tiny_budget);
+  EXPECT_EQ(multiway.key_value_pairs, 576000u);
+  EXPECT_EQ(multiway.outputs, 2293u);
+  EXPECT_GT(multiway.shuffle.pages_spilled, 0u);
+}
+
 }  // namespace
 }  // namespace smr

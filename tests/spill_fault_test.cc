@@ -1,0 +1,273 @@
+// Deterministic fault injection for the spill store's I/O lifecycle: a
+// pluggable SpillBackend (ExecutionPolicy::spill_backend) stands in for
+// the filesystem, so write failures (short writes, ENOSPC) and read-back
+// failures hit on exact, repeatable operations. The contracts under test:
+//
+//  * every injected failure surfaces as std::runtime_error whose message
+//    names the spill file — never as a wrong count or a truncated result;
+//  * spill files are closed and destroyed on success AND on throw alike
+//    (RAII through the owning SpillChannel), asserted via the injected
+//    backend's create/destroy ledger; and
+//  * the default POSIX backend's own error paths (truncated read-back,
+//    creation in an unusable TMPDIR) throw with the path in the message.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/job.h"
+#include "mapreduce/spill.h"
+
+namespace smr {
+namespace {
+
+/// What a FaultBackend should break, and when.
+struct FaultPlan {
+  // Fail the Nth Append call across all files (0 = never fail).
+  uint64_t fail_append_number = 0;
+  // Fail the Nth ReadAt call across all files (0 = never fail).
+  uint64_t fail_read_number = 0;
+  const char* what = "injected fault";
+};
+
+/// Shared open/close ledger: every file created must be destroyed, on
+/// every exit path.
+struct Ledger {
+  uint64_t created = 0;
+  uint64_t destroyed = 0;
+  uint64_t appends = 0;
+  uint64_t reads = 0;
+};
+
+/// In-memory spill file with scripted failures. Mirrors the POSIX
+/// backend's error convention: throw std::runtime_error naming path().
+class FaultSpillFile final : public SpillFile {
+ public:
+  FaultSpillFile(std::string path, const FaultPlan* plan, Ledger* ledger)
+      : path_(std::move(path)), plan_(plan), ledger_(ledger) {
+    ++ledger_->created;
+  }
+
+  ~FaultSpillFile() override { ++ledger_->destroyed; }
+
+  void Append(const void* data, size_t bytes) override {
+    if (++ledger_->appends == plan_->fail_append_number) {
+      throw std::runtime_error("spill file " + path_ + ": " + plan_->what);
+    }
+    const auto* chars = static_cast<const unsigned char*>(data);
+    contents_.insert(contents_.end(), chars, chars + bytes);
+  }
+
+  void ReadAt(uint64_t offset, void* out, size_t bytes) override {
+    if (++ledger_->reads == plan_->fail_read_number) {
+      throw std::runtime_error("spill file " + path_ + ": " + plan_->what);
+    }
+    ASSERT_LE(offset + bytes, contents_.size())
+        << "engine read past the bytes it spilled";
+    std::memcpy(out, contents_.data() + offset, bytes);
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  const FaultPlan* plan_;
+  Ledger* ledger_;
+  std::vector<unsigned char> contents_;
+};
+
+class FaultBackend final : public SpillBackend {
+ public:
+  explicit FaultBackend(FaultPlan plan) : plan_(plan) {}
+
+  std::unique_ptr<SpillFile> Create() override {
+    return std::make_unique<FaultSpillFile>(
+        "/fake/spill-" + std::to_string(ledger_.created), &plan_, &ledger_);
+  }
+
+  const Ledger& ledger() const { return ledger_; }
+
+ private:
+  FaultPlan plan_;
+  Ledger ledger_;
+};
+
+/// A round large enough to spill several times under a one-page budget
+/// and to read every run back during the reduce.
+MapReduceMetrics RunSpillingRound(const ExecutionPolicy& policy,
+                                  CollectingSink* sink) {
+  auto map_fn = [](const int& input, Emitter<int>* out) {
+    out->Emit(static_cast<uint64_t>(input) % 4096, input);
+    out->Emit(static_cast<uint64_t>(input * 31) % 4096, input + 1);
+  };
+  auto reduce_fn = [](uint64_t, std::span<const int> values,
+                      ReduceContext* context) {
+    for (const int v : values) {
+      if (v % 97 == 0) {
+        const NodeId node = static_cast<NodeId>(v);
+        context->EmitInstance(std::span<const NodeId>(&node, 1));
+      }
+    }
+  };
+  std::vector<int> inputs(40000);
+  for (size_t i = 0; i < inputs.size(); ++i) inputs[i] = static_cast<int>(i);
+  JobDriver driver(policy);
+  return driver.RunRound(RoundSpec<int, int>{"spill-fault", map_fn, reduce_fn,
+                                             4096, {}},
+                         inputs, sink);
+}
+
+ExecutionPolicy BudgetedPolicy(unsigned threads, SpillBackend* backend) {
+  return ExecutionPolicy::WithThreads(threads)
+      .WithBudget(PagePool::kPageBytes)
+      .WithSpillBackend(backend);
+}
+
+TEST(SpillFault, CleanRunThroughInjectedBackendMatchesDefaultAndBalances) {
+  CollectingSink reference;
+  const MapReduceMetrics unbounded =
+      RunSpillingRound(ExecutionPolicy::Serial(), &reference);
+
+  for (const unsigned threads : {1u, 4u}) {
+    FaultBackend backend(FaultPlan{});  // No faults: a working RAM disk.
+    CollectingSink sink;
+    const MapReduceMetrics metrics =
+        RunSpillingRound(BudgetedPolicy(threads, &backend), &sink);
+    EXPECT_EQ(metrics, unbounded) << "threads=" << threads;
+    EXPECT_EQ(sink.assignments(), reference.assignments())
+        << "threads=" << threads;
+    EXPECT_GT(metrics.shuffle.pages_spilled, 0u) << "threads=" << threads;
+    // The stats' file count is the ledger's, and every file was destroyed
+    // by the time the round returned.
+    EXPECT_EQ(backend.ledger().created, metrics.shuffle.spill_files);
+    EXPECT_EQ(backend.ledger().destroyed, backend.ledger().created);
+    EXPECT_GT(backend.ledger().appends, 0u);
+    EXPECT_GT(backend.ledger().reads, 0u);
+  }
+}
+
+TEST(SpillFault, AppendFailureThrowsWithPathAndDestroysFiles) {
+  for (const unsigned threads : {1u, 4u}) {
+    for (const uint64_t fail_at : {uint64_t{1}, uint64_t{3}}) {
+      FaultBackend backend(
+          FaultPlan{.fail_append_number = fail_at, .what = "disk full"});
+      CollectingSink sink;
+      try {
+        RunSpillingRound(BudgetedPolicy(threads, &backend), &sink);
+        FAIL() << "append fault did not surface (threads=" << threads
+               << " fail_at=" << fail_at << ")";
+      } catch (const std::runtime_error& error) {
+        EXPECT_NE(std::string(error.what()).find("/fake/spill-"),
+                  std::string::npos)
+            << "message must name the spill file, got: " << error.what();
+        EXPECT_NE(std::string(error.what()).find("disk full"),
+                  std::string::npos);
+      }
+      EXPECT_GT(backend.ledger().created, 0u);
+      EXPECT_EQ(backend.ledger().destroyed, backend.ledger().created)
+          << "spill files leaked on the append-failure path";
+    }
+  }
+}
+
+TEST(SpillFault, ReadBackFailureThrowsWithPathAndDestroysFiles) {
+  for (const unsigned threads : {1u, 4u}) {
+    FaultBackend backend(
+        FaultPlan{.fail_read_number = 2, .what = "pread failed"});
+    CollectingSink sink;
+    try {
+      RunSpillingRound(BudgetedPolicy(threads, &backend), &sink);
+      FAIL() << "read fault did not surface (threads=" << threads << ")";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("/fake/spill-"),
+                std::string::npos)
+          << "message must name the spill file, got: " << error.what();
+    }
+    EXPECT_GT(backend.ledger().reads, 0u);
+    EXPECT_EQ(backend.ledger().destroyed, backend.ledger().created)
+        << "spill files leaked on the read-failure path";
+  }
+}
+
+TEST(SpillFault, PosixBackendShortReadThrowsWithPath) {
+  // The real backend's truncated-read path, hit directly: ask for more
+  // bytes than were ever written.
+  std::unique_ptr<SpillFile> file = DefaultSpillBackend().Create();
+  const char payload[16] = "fifteen bytes..";
+  file->Append(payload, sizeof(payload));
+  char readback[sizeof(payload)] = {};
+  file->ReadAt(0, readback, sizeof(payload));
+  EXPECT_EQ(std::memcmp(readback, payload, sizeof(payload)), 0);
+  char too_much[64] = {};
+  try {
+    file->ReadAt(0, too_much, sizeof(too_much));
+    FAIL() << "short read did not throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(file->path()), std::string::npos)
+        << "message must name the spill file, got: " << error.what();
+    EXPECT_NE(std::string(error.what()).find("short read"), std::string::npos);
+  }
+}
+
+TEST(SpillFault, PosixBackendUnusableTmpdirThrowsWithPath) {
+  // Point TMPDIR at a directory that cannot exist; mkstemp must fail and
+  // the error must name the attempted path rather than falling back to a
+  // silent location the operator never configured.
+  const char* saved = std::getenv("TMPDIR");
+  const std::string saved_copy = saved != nullptr ? saved : "";
+  ::setenv("TMPDIR", "/nonexistent-smr-spill-dir", 1);
+  try {
+    EXPECT_THROW(
+        {
+          try {
+            DefaultSpillBackend().Create();
+          } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string(error.what())
+                          .find("/nonexistent-smr-spill-dir"),
+                      std::string::npos)
+                << "got: " << error.what();
+            throw;
+          }
+        },
+        std::runtime_error);
+  } catch (...) {
+    // Restore TMPDIR even if the EXPECT machinery throws.
+  }
+  if (saved != nullptr) {
+    ::setenv("TMPDIR", saved_copy.c_str(), 1);
+  } else {
+    ::unsetenv("TMPDIR");
+  }
+}
+
+TEST(SpillFault, FaultDuringMapPhaseDoesNotCorruptSubsequentRuns) {
+  // A failed budgeted round must leave no residue that skews a following
+  // clean round on the same policy objects' thread pool.
+  FaultBackend failing(
+      FaultPlan{.fail_append_number = 1, .what = "injected fault"});
+  const ExecutionPolicy policy = BudgetedPolicy(4, &failing);
+  CollectingSink first;
+  EXPECT_THROW(RunSpillingRound(policy, &first), std::runtime_error);
+
+  FaultBackend clean(FaultPlan{});
+  CollectingSink second;
+  const MapReduceMetrics metrics = RunSpillingRound(
+      policy.WithSpillBackend(&clean), &second);
+
+  CollectingSink reference;
+  const MapReduceMetrics unbounded =
+      RunSpillingRound(ExecutionPolicy::Serial(), &reference);
+  EXPECT_EQ(metrics, unbounded);
+  EXPECT_EQ(second.assignments(), reference.assignments());
+  EXPECT_EQ(clean.ledger().destroyed, clean.ledger().created);
+}
+
+}  // namespace
+}  // namespace smr

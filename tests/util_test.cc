@@ -206,6 +206,29 @@ TEST(Parse, Uint64RejectsNegatives) {
   EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());
 }
 
+TEST(Parse, ByteSizeAcceptsBinarySuffixes) {
+  EXPECT_EQ(ParseByteSize("0"), 0u);
+  EXPECT_EQ(ParseByteSize("4096"), 4096u);
+  EXPECT_EQ(ParseByteSize("64K"), uint64_t{64} << 10);
+  EXPECT_EQ(ParseByteSize("64k"), uint64_t{64} << 10);
+  EXPECT_EQ(ParseByteSize("512M"), uint64_t{512} << 20);
+  EXPECT_EQ(ParseByteSize("2G"), uint64_t{2} << 30);
+  EXPECT_EQ(ParseByteSize("3t"), uint64_t{3} << 40);
+  // The largest value each suffix can scale without wrapping.
+  EXPECT_EQ(ParseByteSize("18014398509481983K"),
+            uint64_t{18014398509481983} << 10);
+}
+
+TEST(Parse, ByteSizeRejectsGarbageAndOverflow) {
+  for (const char* bad :
+       {"", "K", "64KB", "64 K", "1.5M", "-1K", "+1K", "0x10", "64Q",
+        // 2^54 kibibytes = 2^64 bytes: one past the top.
+        "18014398509481984K", "17179869184G", "16777216T",
+        "99999999999999999999"}) {
+    EXPECT_FALSE(ParseByteSize(bad).has_value()) << bad;
+  }
+}
+
 TEST(Parse, DoubleIsStrictAndFinite) {
   EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
   EXPECT_DOUBLE_EQ(*ParseDouble("256"), 256.0);
