@@ -32,8 +32,9 @@ namespace {
 constexpr const char kHelp[] = R"(usage:
   smr_cli --pattern <name> --input <spec> [--strategy <spec>] [--seed N]
           [--threads N] [--shuffle S] [--group G] [--combine C]
-          [--budget B] [--stats] [--print N]
+          [--budget B] [--backend K] [--stats] [--print N]
   smr_cli --list-strategies
+  smr_cli --list-backends
   smr_cli --help
 
   --pattern   triangle | square | lollipop | path:<p> | star:<p> |
@@ -70,6 +71,13 @@ constexpr const char kHelp[] = R"(usage:
               (64K, 512M, 2G). 0 (default) = unbounded. With a budget the
               engine spills sorted runs to temp files and streams them
               back; results are identical, only spill counters change.
+  --backend   thread (default) | process[:N]: where engine workers run.
+              process forks N worker processes (default N = threads) that
+              shuffle codec-framed pairs over real sockets; the job table
+              and metrics are identical, and ShuffleStats additionally
+              reports the bytes that crossed the kernel per worker link.
+  --list-backends
+              print every execution backend with its capabilities.
   --seed      bucket-hash seed (default 1)
   --stats     print graph statistics first
   --print N   print the first N instances found
@@ -85,6 +93,8 @@ examples:
   smr_cli --pattern triangle --input er:2000:40000:1 --strategy auto:500
   smr_cli --pattern triangle --input er:2000:40000:1 --strategy census
           --threads 4 --combine off
+  smr_cli --pattern triangle --input er:2000:40000:1 --strategy bucket:8
+          --backend process:4
 )";
 
 [[noreturn]] void Usage(const std::string& message) {
@@ -188,6 +198,18 @@ void ListStrategies() {
   }
 }
 
+void ListBackends() {
+  std::printf("# backend\tspec\tworkers\twire bytes\tnotes\n");
+  std::printf(
+      "thread\tthread\t--threads N\tmodeled only\t"
+      "in-process worker threads; shuffle never serializes a pair "
+      "(sort, partitioned, and spill shuffles)\n");
+  std::printf(
+      "process\tprocess[:N]\tN forked processes\tmeasured per link\t"
+      "codec-framed pairs over socketpairs; ShuffleStats reports "
+      "map/reduce bytes on the wire; census per-node table unavailable\n");
+}
+
 /// A uniformly-labeled view of an undirected pattern/graph pair: every
 /// edge carries label 0, so labeled enumeration matches the unlabeled one.
 smr::LabeledSampleGraph UniformlyLabeled(const smr::SampleGraph& pattern) {
@@ -223,6 +245,7 @@ int RunCli(int argc, char** argv) {
   std::string group = "auto";
   std::string combine = "on";
   std::string budget = "0";
+  std::string backend = "thread";
   uint64_t seed = 1;
   bool stats = false;
   size_t print_limit = 0;
@@ -237,6 +260,9 @@ int RunCli(int argc, char** argv) {
       return 0;
     } else if (arg == "--list-strategies") {
       ListStrategies();
+      return 0;
+    } else if (arg == "--list-backends") {
+      ListBackends();
       return 0;
     } else if (arg == "--pattern") {
       pattern_spec = next();
@@ -257,6 +283,8 @@ int RunCli(int argc, char** argv) {
       combine = next();
     } else if (arg == "--budget") {
       budget = next();
+    } else if (arg == "--backend") {
+      backend = next();
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
@@ -278,7 +306,7 @@ int RunCli(int argc, char** argv) {
   }
 
   const smr::ExecutionPolicy policy =
-      smr::PolicyFromSpecs(threads, shuffle, group, combine, budget);
+      smr::PolicyFromSpecs(threads, shuffle, group, combine, budget, backend);
   const smr::StrategySpec spec = smr::ParseStrategySpec(strategy);
   const smr::Strategy& strat =
       smr::StrategyRegistry::Global().Require(spec.name);
@@ -331,11 +359,13 @@ int RunCli(int argc, char** argv) {
   if (!result.plan.empty()) {
     std::printf("plan:    %s\n", result.plan.c_str());
   }
-  if (policy.num_threads > 1) {
+  if (policy.num_threads > 1 ||
+      policy.backend == smr::BackendMode::kProcess) {
     // Whether the engine ran is visible in the result itself — strategies
     // without rounds (serial) never touch it; don't claim otherwise.
     if (result.job.rounds.empty()) {
-      std::printf("engine:  not used by this strategy (--threads ignored)\n");
+      std::printf(
+          "engine:  not used by this strategy (engine knobs ignored)\n");
     } else {
       std::printf("engine:  %s\n", smr::DescribePolicy(policy).c_str());
     }

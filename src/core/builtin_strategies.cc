@@ -542,6 +542,7 @@ class AutoStrategy : public BuiltinStrategy {
     }
 
     const StrategyRegistry& registry = StrategyRegistry::Global();
+    const CostCalibration& calibration = CostCalibration::Global();
     EnumerationQuery delegated = query;
     delegated.spec = StrategySpec{};  // filled by the cheapest candidate
     double best_cost = 0;
@@ -549,10 +550,16 @@ class AutoStrategy : public BuiltinStrategy {
       const Strategy& strategy = registry.Require(candidate.name);
       EnumerationQuery probe = query;
       probe.spec = strategy.ResolveSpec(std::move(candidate));
-      const std::optional<double> cost = strategy.EstimateCostPerEdge(probe);
-      if (!cost) continue;
-      if (delegated.spec.name.empty() || *cost < best_cost) {
-        best_cost = *cost;
+      const std::optional<double> pairs = strategy.EstimateCostPerEdge(probe);
+      if (!pairs) continue;
+      // Price the candidate in bytes per edge: closed-form pairs per edge
+      // times the strategy's measured bytes per pair when a process-backend
+      // run calibrated it, the modeled record size otherwise. With no
+      // calibration recorded every candidate scales identically, so the
+      // ordering is exactly the classic pair comparison.
+      const double cost = calibration.BytesPerEdge(probe.spec.name, *pairs);
+      if (delegated.spec.name.empty() || cost < best_cost) {
+        best_cost = cost;
         delegated.spec = std::move(probe.spec);
       }
     }

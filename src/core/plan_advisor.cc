@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cq/cq_generation.h"
+#include "mapreduce/job.h"
 #include "graph/node_order.h"
 #include "shares/cost_expression.h"
 #include "shares/replication_formulas.h"
@@ -158,6 +159,50 @@ StrategyPlan PlanEnumeration(const SampleGraph& pattern,
   consider(StrategyPlan::Strategy::kTwoRound, plan.two_round_cost_per_edge);
   consider(StrategyPlan::Strategy::kCensus, plan.census_cost_per_edge);
   return plan;
+}
+
+CostCalibration& CostCalibration::Global() {
+  static CostCalibration calibration;
+  return calibration;
+}
+
+void CostCalibration::Record(const std::string& strategy,
+                             double bytes_per_pair) {
+  if (!(bytes_per_pair > 0)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  measured_[strategy] = bytes_per_pair;
+}
+
+void CostCalibration::Observe(const std::string& strategy,
+                              const JobMetrics& job) {
+  uint64_t wire_bytes = 0;
+  uint64_t logical_pairs = 0;
+  for (const JobRoundMetrics& round : job.rounds) {
+    wire_bytes += round.metrics.shuffle.map_bytes_on_wire;
+    logical_pairs += round.metrics.key_value_pairs;
+  }
+  if (wire_bytes == 0 || logical_pairs == 0) return;
+  Record(strategy, static_cast<double>(wire_bytes) /
+                       static_cast<double>(logical_pairs));
+}
+
+std::optional<double> CostCalibration::BytesPerPair(
+    const std::string& strategy) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = measured_.find(strategy);
+  if (it == measured_.end()) return std::nullopt;
+  return it->second;
+}
+
+double CostCalibration::BytesPerEdge(const std::string& strategy,
+                                     double pairs_per_edge) const {
+  return pairs_per_edge * BytesPerPair(strategy).value_or(
+                              kModeledBytesPerPair);
+}
+
+void CostCalibration::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  measured_.clear();
 }
 
 }  // namespace smr

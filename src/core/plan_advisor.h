@@ -2,6 +2,9 @@
 #define SMR_CORE_PLAN_ADVISOR_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +12,8 @@
 #include "graph/sample_graph.h"
 
 namespace smr {
+
+struct JobMetrics;  // mapreduce/job.h
 
 /// Production-side planning helper: given a sample graph and a reducer
 /// budget k, predicts the communication cost of the strategies this library
@@ -92,6 +97,46 @@ StrategyPlan PlanEnumeration(const SampleGraph& pattern,
 /// u, w after v in the nondecreasing-degree order (O(m^{3/2}) total, per
 /// the classic bound). One O(n + m) adjacency pass.
 uint64_t CountOrderedWedges(const Graph& graph);
+
+/// Measured per-pair byte costs keyed by strategy name — the observed
+/// counterpart of the closed-form pair counts everything above predicts.
+/// The process backend (mapreduce/process_backend.h) counts the bytes a
+/// strategy's shuffle really puts on the wire; feeding those measurements
+/// in here lets `auto:<k>` price candidate plans in observed bytes per
+/// edge instead of modeled pairs per edge. With no measurement recorded,
+/// every strategy falls back to the modeled record size, so the pricing
+/// order — and therefore every existing `auto` pick — is unchanged.
+/// Thread-safe; process-wide (like the StrategyRegistry it calibrates).
+class CostCalibration {
+ public:
+  static CostCalibration& Global();
+
+  /// Modeled wire cost of one pair when no measurement exists: an 8-byte
+  /// reducer key plus the 8-byte packed edge value every builtin ships.
+  static constexpr double kModeledBytesPerPair = 16.0;
+
+  /// Records a measured per-pair byte cost for `strategy` (overwrites).
+  void Record(const std::string& strategy, double bytes_per_pair);
+
+  /// Folds an executed job's wire measurements in: summed map-side bytes
+  /// on the wire over summed logical pairs across the job's rounds. A job
+  /// with no wire bytes (the thread backend never serializes) is ignored.
+  void Observe(const std::string& strategy, const JobMetrics& job);
+
+  /// The measured per-pair cost, if any run of `strategy` was observed.
+  std::optional<double> BytesPerPair(const std::string& strategy) const;
+
+  /// The calibrated pricing hook `auto:<k>` folds into every candidate's
+  /// EstimateCostPerEdge: pairs/edge x measured-or-modeled bytes/pair.
+  double BytesPerEdge(const std::string& strategy,
+                      double pairs_per_edge) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> measured_;
+};
 
 /// The closed forms the advisor and the strategies' EstimateCostPerEdge
 /// hooks share, so a plan comparison and a strategy's self-assessment can

@@ -1,62 +1,69 @@
 #ifndef SMR_MAPREDUCE_ENGINE_H_
 #define SMR_MAPREDUCE_ENGINE_H_
 
-#include <algorithm>
-#include <atomic>
-#include <cstdint>
-#include <exception>
-#include <functional>
 #include <span>
-#include <string>
 #include <type_traits>
-#include <utility>
-#include <vector>
 
+#include "mapreduce/codec.h"
 #include "mapreduce/execution_policy.h"
-#include "mapreduce/group_by_key.h"
-#include "mapreduce/instance_sink.h"
-#include "mapreduce/metrics.h"
+#include "mapreduce/process_backend.h"
+#include "mapreduce/round.h"
+#include "mapreduce/shuffle_backend.h"
+#include "mapreduce/shuffle_spill_backend.h"
 #include "mapreduce/spill.h"
-#include "mapreduce/thread_pool.h"
-#include "util/cost_model.h"
-#include "util/flat_map.h"
 
 namespace smr {
 
 /// Execution substrate: a faithful simulator of map-reduce rounds
-/// (map -> shuffle/group-by-key -> reduce), the model of [11] that the whole
-/// paper is expressed in. Keys are 64-bit reducer ids; values are an
+/// (map -> shuffle/group-by-key -> reduce), the model of [11] that the
+/// whole paper is expressed in. Keys are 64-bit reducer ids; values are an
 /// algorithm-chosen POD. The engine measures exactly the quantities the
 /// paper optimizes (Section 1.2): key-value pairs shipped (communication
 /// cost), distinct keys (reducers), skew, and the reducers' instrumented
 /// computation cost.
 ///
-/// A round is *declared*, not hand-wired: a RoundSpec names the mapper, the
-/// reducer, the reducer key space, and (optionally) an associative map-side
-/// combiner. Rounds are run through a JobDriver (mapreduce/job.h), which
-/// chains them under one ExecutionPolicy and aggregates their metrics; the
-/// low-level RunRound entry point below is what the driver calls.
+/// The engine is layered:
 ///
-/// The shuffle is fully deterministic in both modes: values arrive at each
-/// reducer in mapper emission order, reducers run in ascending key order.
+///   strategies -> JobDriver (mapreduce/job.h)
+///                   |  declared rounds
+///                   v
+///   RunRound (this header) ------ mapper/reducer orchestration: picks ONE
+///                   |             shuffle backend per round from the policy
+///                   v
+///   ShuffleBackend (mapreduce/shuffle_backend.h) -- transport/shuffle:
+///       sort | partitioned        in-memory (same header)
+///       spill                     paged spill store
+///                                 (mapreduce/shuffle_spill_backend.h)
+///       process                   forked workers over codec-framed sockets
+///                                 (mapreduce/process_backend.h)
+///                   |
+///                   v
+///   codec (mapreduce/codec.h) --- one serialization vocabulary: fixed-size
+///                                 ValueCodec records (spill) and
+///                                 length-prefixed varint frames (process)
 ///
-///  * ShuffleMode::kSort (the original engine): all emissions are
-///    concatenated into one vector and grouped by a single global stable
-///    sort — a serial O(C log C) barrier between the phases.
-///  * ShuffleMode::kPartitioned: each map worker scatters its emissions
-///    into P per-worker key-range buckets (partition = the key's position
-///    in [0, key_space), falling back to the key's high bits when
-///    key_space is 0). Each partition is then independently grouped by key
-///    and reduced, with partitions drained from a dynamic queue. Grouping
-///    visits a partition's per-worker buckets in worker order (the serial
-///    emission order of its key range) and is either a stable_sort of the
-///    concatenation or — when the partition's key range is dense, the
-///    normal case since strategies declare dense reducer ranks — an O(n)
-///    counting scatter (GroupMode in the policy; see group_by_key.h).
-///    Both groupings are stable, and partitions cover ascending disjoint
-///    key ranges, so merging the per-partition results in partition order
-///    replays the serial round exactly — with no global barrier vector and
-///    no serial sort.
+/// A round is *declared*, not hand-wired: a RoundSpec (mapreduce/round.h)
+/// names the mapper, the reducer, the reducer key space, and (optionally)
+/// an associative map-side combiner. Rounds are run through a JobDriver,
+/// which chains them under one ExecutionPolicy and aggregates their
+/// metrics; the low-level RunRound entry point below is what the driver
+/// calls.
+///
+/// Every backend honors one contract, whatever the transport: the shuffle
+/// is fully deterministic — values arrive at each reducer in mapper
+/// emission order, reducers run in ascending key order — and metrics and
+/// sink emissions are byte-identical to the serial engine for every thread
+/// count, worker count, shuffle mode, partition count, and budget. Map and
+/// reduce callbacks must therefore be re-entrant: they may mutate only
+/// their own locals and the ReduceContext/Emitter they are handed, never
+/// shared captured state. One narrow exception for reducers: because each
+/// distinct key is reduced exactly once per round, a reducer may write to
+/// a preallocated per-key slot of a shared structure (e.g. counts[key] =
+/// ...) — disjoint slots, one writer each, no race. Nothing finer:
+/// accumulating into any shared location reachable from two keys is a data
+/// race. (The process backend runs reducers in forked children, where such
+/// shared-slot writes stay in the child's address space — see
+/// process_backend.h for that backend's stricter contract.)
 ///
 /// Parallel phases dispatch through the policy's persistent ThreadPool
 /// (mapreduce/thread_pool.h): threads are spawned on the first parallel
@@ -64,460 +71,59 @@ namespace smr {
 /// once, not per phase per round. ShuffleStats records the per-round
 /// spawn/reuse split.
 ///
-/// With an ExecutionPolicy of more than one thread, mappers run on
-/// contiguous input slices and reducers on contiguous key ranges, each
-/// worker collecting into private buffers that are merged in slice/range
-/// order afterwards — so metrics and sink emissions are byte-identical to
-/// the serial engine for every thread count, shuffle mode, and partition
-/// count. Map and reduce callbacks must therefore be re-entrant: they may
-/// mutate only their own locals and the ReduceContext/Emitter they are
-/// handed, never shared captured state. One narrow exception for reducers:
-/// because each distinct key is reduced exactly once per round, a reducer
-/// may write to a preallocated per-key slot of a shared structure (e.g.
-/// counts[key] = ...) — disjoint slots, one writer each, no race. Nothing
-/// finer: accumulating into any shared location reachable from two keys is
-/// a data race.
-///
-/// Combining. When a RoundSpec declares a combiner (and the policy does not
-/// disable it), each map worker pre-aggregates its own emissions in place:
-/// the first emission of a key appends a pair, later emissions of the same
-/// key fold into that pair via the combiner. After the shuffle each key's
-/// per-worker partials sit adjacent in worker order, and the engine folds
-/// them once more before invoking the reducer, which therefore receives
-/// exactly ONE combined value per key. Because map workers cover contiguous
-/// input slices in order, the two folds compose to a left fold over the
-/// full serial emission order — so for an *associative* combiner the
-/// reducer's input, the semantic metrics, and the sink emissions are
-/// byte-identical for every thread count, shuffle mode, and partition
-/// count, exactly as without a combiner. The logical communication cost
-/// (`key_value_pairs`, what the paper's model counts) is unchanged by
-/// combining; the physically shipped pair count is reported separately in
+/// Combining. When a RoundSpec declares a combiner (and the policy does
+/// not disable it), each map worker pre-aggregates its own emissions in
+/// place: the first emission of a key appends a pair, later emissions of
+/// the same key fold into that pair via the combiner. After the shuffle
+/// each key's per-worker partials sit adjacent in worker order, and the
+/// engine folds them once more before invoking the reducer, which
+/// therefore receives exactly ONE combined value per key. Because map
+/// workers cover contiguous input slices in order, the two folds compose
+/// to a left fold over the full serial emission order — so for an
+/// *associative* combiner the reducer's input, the semantic metrics, and
+/// the sink emissions are byte-identical for every policy, exactly as
+/// without a combiner. The logical communication cost (`key_value_pairs`,
+/// what the paper's model counts) is unchanged by combining; the
+/// physically shipped pair count is reported separately in
 /// `ShuffleStats::pairs_shipped` and shrinks with combining — per-worker
 /// pre-aggregation is host-scheduling-dependent, which is why it lives
 /// with the other host-side shuffle stats outside metrics equality.
 
-/// Routes a key to one of `partitions` contiguous, ascending key ranges.
-/// The mapping is monotone nondecreasing in the key — the invariant the
-/// partitioned shuffle's ordered replay rests on. When the round declared a
-/// key space, ranges are proportional slices of [0, key_space) (strategies
-/// keep their keys dense in the declared space precisely so this balances);
-/// keys at or above the declared space land in the last partition, which
-/// keeps the map monotone for strategies that under-declare. With no
-/// declared key space the high bits of the key decide (radix partitioning
-/// over the full 64-bit range).
-class KeyPartitioner {
- public:
-  KeyPartitioner(unsigned partitions, uint64_t key_space)
-      : partitions_(partitions), key_space_(key_space) {}
-
-  unsigned PartitionOf(uint64_t key) const {
-    if (partitions_ <= 1) return 0;
-    if (key_space_ > 0) {
-      // Clamp in 128 bits: a key far above the declared space can push the
-      // quotient past 2^32, and narrowing first would wrap it back into a
-      // low partition — sending the largest keys below the smallest and
-      // breaking the monotonicity the ordered replay rests on.
-      const unsigned __int128 partition =
-          static_cast<unsigned __int128>(key) * partitions_ / key_space_;
-      return partition < partitions_ ? static_cast<unsigned>(partition)
-                                     : partitions_ - 1;
-    }
-    return static_cast<unsigned>(
-        (static_cast<unsigned __int128>(key) * partitions_) >> 64);
-  }
-
-  unsigned partitions() const { return partitions_; }
-
- private:
-  unsigned partitions_;
-  uint64_t key_space_;
-};
-
-/// Collects the key-value pairs emitted by a mapper: either into one flat
-/// vector (serial / sort shuffle) or scattered across one bucket per
-/// destination partition (partitioned shuffle). With a combiner, repeated
-/// emissions of a key fold into the key's existing pair instead of
-/// appending (map-side pre-aggregation); `emitted()` still counts every
-/// logical emission, which is what the round's communication-cost metric
-/// reports.
-template <typename Value>
-class Emitter {
- public:
-  using CombineFn = std::function<void(Value& acc, const Value& incoming)>;
-
-  /// `expected_keys` pre-sizes the combiner's slot index (an upper bound —
-  /// e.g. the worker's expected emission count — is fine); ignored without
-  /// a usable combiner.
-  explicit Emitter(std::vector<std::pair<uint64_t, Value>>* out,
-                   const CombineFn* combiner = nullptr,
-                   size_t expected_keys = 0)
-      : out_(out), combiner_(Usable(combiner)) {
-    if (combiner_ != nullptr && expected_keys > 0) {
-      slots_.reserve(expected_keys);
-    }
-  }
-
-  /// `spill` (optional) is the budgeted shuffle's channel owning
-  /// `buckets`: every append is accounted against the job's page pool and
-  /// may spill the channel, at which point the combiner's remembered
-  /// bucket positions are dropped (the buckets were emptied).
-  Emitter(std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets,
-          const KeyPartitioner* partitioner,
-          const CombineFn* combiner = nullptr, size_t expected_keys = 0,
-          SpillChannel<Value>* spill = nullptr)
-      : buckets_(buckets),
-        partitioner_(partitioner),
-        combiner_(Usable(combiner)),
-        spill_(spill) {
-    if (combiner_ != nullptr && expected_keys > 0) {
-      slots_.reserve(expected_keys);
-    }
-  }
-
-  void Emit(uint64_t key, const Value& value) {
-    ++emitted_;
-    auto& bucket =
-        out_ != nullptr ? *out_ : (*buckets_)[partitioner_->PartitionOf(key)];
-    if (combiner_ != nullptr) {
-      // A key lands in the same bucket every time, so the remembered index
-      // into that bucket stays valid across emissions (until a spill
-      // empties the buckets, which clears the slot index below).
-      bool inserted = false;
-      const size_t slot = slots_.FindOrInsert(key, bucket.size(), &inserted);
-      if (!inserted) {
-        (*combiner_)(bucket[slot].second, value);
-        return;
-      }
-    }
-    bucket.emplace_back(key, value);
-    if (spill_ != nullptr && spill_->NotifyAppend()) slots_.Clear();
-  }
-
-  /// Logical emissions seen, counting the ones the combiner absorbed.
-  uint64_t emitted() const { return emitted_; }
-
- private:
-  static const CombineFn* Usable(const CombineFn* combiner) {
-    return (combiner != nullptr && *combiner) ? combiner : nullptr;
-  }
-
-  std::vector<std::pair<uint64_t, Value>>* out_ = nullptr;
-  std::vector<std::vector<std::pair<uint64_t, Value>>>* buckets_ = nullptr;
-  const KeyPartitioner* partitioner_ = nullptr;
-  const CombineFn* combiner_ = nullptr;
-  SpillChannel<Value>* spill_ = nullptr;
-  FlatMap64 slots_;
-  uint64_t emitted_ = 0;
-};
-
-/// Per-reducer context: instrumented cost, the round's output sink, and the
-/// intermediate-record channel of a multi-round job.
-struct ReduceContext {
-  CostCounter* cost;
-  InstanceSink* sink;
-  InstanceSink* records = nullptr;
-  uint64_t outputs = 0;
-
-  /// Emits a final result instance of the job (counted in `outputs`).
-  void EmitInstance(std::span<const NodeId> assignment) {
-    ++outputs;
-    ++cost->outputs;
-    if (sink != nullptr) sink->Emit(assignment);
-  }
-
-  /// Emits an intermediate record for the next round of a multi-round
-  /// pipeline (not a result: neither `outputs` nor the cost model counts
-  /// it). Records reach the round's record sink in the same deterministic
-  /// order as instance emissions — ascending key, emission order within a
-  /// key — so the next round's input order is policy-independent.
-  void EmitRecord(std::span<const NodeId> record) {
-    if (records != nullptr) records->Emit(record);
-  }
-};
-
-/// One declared map-reduce round over inputs of type `Input`, shuffling
-/// values of type `Value`. Strategies build these and hand them to a
-/// JobDriver; nothing outside src/mapreduce/ runs rounds by hand.
+/// Selects the one shuffle backend a round runs on, from the policy:
+///
+///   1. process  — policy.backend == BackendMode::kProcess and the value
+///                 type is codec-encodable (it must cross a process
+///                 boundary);
+///   2. spill    — a nonzero shuffle_budget_bytes and a spillable value
+///                 type: both in-memory modes routed through the paged
+///                 spill store;
+///   3. sort     — single-threaded rounds and ShuffleMode::kSort;
+///   4. partitioned — everything else (the parallel default).
+///
+/// Backends are stateless const singletons per (Input, Value)
+/// instantiation; the reference stays valid for the program's lifetime.
 template <typename Input, typename Value>
-struct RoundSpec {
-  /// Display name for the JobMetrics round table ("two-paths", "join", ...).
-  std::string name;
-
-  /// Applied to every input; emits key-value pairs.
-  std::function<void(const Input&, Emitter<Value>*)> mapper;
-
-  /// Invoked once per distinct key with all of the key's values, in
-  /// emission order (exactly one pre-folded value when a combiner ran).
-  std::function<void(uint64_t key, std::span<const Value>, ReduceContext*)>
-      reducer;
-
-  /// Size of the reducer id space the algorithm declared; besides being
-  /// copied into the metrics it steers the partitioned shuffle's key-range
-  /// split, so declare it accurately (or 0 for radix partitioning over raw
-  /// 64-bit keys).
-  uint64_t key_space = 0;
-
-  /// Optional map-side combiner folding `incoming` into `acc`. MUST be
-  /// associative over the emission order (sums, min/max, bitwise merges);
-  /// the reducer must compute the same result from combined values as from
-  /// the raw ones. Leave empty for rounds whose reducers need the raw
-  /// multiset (e.g. every edge copy).
-  std::function<void(Value& acc, const Value& incoming)> combiner;
-
-  /// Optional sizing hint: expected emissions per input record (0 = no
-  /// hint). Strategies that know their replication rate analytically
-  /// (bucket-oriented ships C(b+p-3, p-2) pairs per edge, the 2-path
-  /// round exactly 1) declare it so the engine can reserve its emission
-  /// buffers and scatter buckets up front instead of reallocating through
-  /// the map phase. A wrong hint costs memory or a few reallocations,
-  /// never correctness.
-  double emissions_per_input = 0.0;
-};
-
-namespace engine_internal {
-
-/// Reduces the already-sorted pairs in [begin, end) — which must be aligned
-/// to key boundaries — accumulating reduce-phase counters into `metrics`,
-/// instances into `sink`, and intermediate records into `records`. With a
-/// combiner, each key's adjacent partials are folded (in their stored
-/// order, which is worker order = serial emission order) into the single
-/// value the reducer sees.
-template <typename Value>
-void ReduceRange(
-    const std::vector<std::pair<uint64_t, Value>>& pairs, size_t begin,
-    size_t end,
-    const std::function<void(uint64_t key, std::span<const Value>,
-                             ReduceContext*)>& reduce_fn,
-    const std::function<void(Value&, const Value&)>* combiner,
-    InstanceSink* sink, InstanceSink* records, MapReduceMetrics* metrics) {
-  std::vector<Value> group;
-  size_t i = begin;
-  while (i < end) {
-    const uint64_t key = pairs[i].first;
-    group.clear();
-    if (combiner != nullptr) {
-      Value accumulated = pairs[i].second;
-      ++i;
-      while (i < end && pairs[i].first == key) {
-        (*combiner)(accumulated, pairs[i].second);
-        ++i;
-      }
-      group.push_back(accumulated);
-    } else {
-      while (i < end && pairs[i].first == key) {
-        group.push_back(pairs[i].second);
-        ++i;
-      }
+const ShuffleBackend<Input, Value>& SelectShuffleBackend(
+    const ExecutionPolicy& policy) {
+  if constexpr (RecordCodec<Value>::kEncodable) {
+    if (policy.backend == BackendMode::kProcess) {
+      static const ProcessShuffleBackend<Input, Value> process;
+      return process;
     }
-    ++metrics->distinct_keys;
-    metrics->max_reducer_input =
-        std::max<uint64_t>(metrics->max_reducer_input, group.size());
-    ReduceContext context{&metrics->reduce_cost, sink, records, 0};
-    reduce_fn(key, std::span<const Value>(group), &context);
-    metrics->outputs += context.outputs;
   }
+  if constexpr (SpillTraits<Value>::kSpillable) {
+    if (policy.shuffle_budget_bytes > 0) {
+      static const SpillShuffleBackend<Input, Value> spill;
+      return spill;
+    }
+  }
+  if (policy.num_threads <= 1 || policy.shuffle == ShuffleMode::kSort) {
+    static const SortShuffleBackend<Input, Value> sort;
+    return sort;
+  }
+  static const PartitionedShuffleBackend<Input, Value> partitioned;
+  return partitioned;
 }
-
-/// Splits [0, size) into at most `parts` contiguous slices of near-equal
-/// length; returns the slice boundaries (parts+1 entries). The product is
-/// taken in 128 bits: `size * t` in size_t arithmetic wraps once
-/// size > SIZE_MAX / parts and would scramble the boundaries.
-inline std::vector<size_t> SliceBoundaries(size_t size, unsigned parts) {
-  std::vector<size_t> bounds;
-  bounds.reserve(parts + 1);
-  for (unsigned t = 0; t <= parts; ++t) {
-    bounds.push_back(static_cast<size_t>(
-        static_cast<unsigned __int128>(size) * t / parts));
-  }
-  return bounds;
-}
-
-/// Runs `task(t)` for t in [0, count): task 0 on the calling thread, the
-/// rest through the policy's persistent ThreadPool (which preserves the
-/// historical contract of spawning fresh threads here: join-all semantics
-/// and the lowest-index worker exception rethrown to the caller — so a
-/// callback that throws surfaces exactly as it would under the serial
-/// engine instead of reaching std::terminate). The pool's spawn/reuse
-/// split for this dispatch is folded into `stats`; a warm pool reuses
-/// parked threads and spawns nothing.
-template <typename Task>
-void RunWorkers(const ExecutionPolicy& policy, size_t count, const Task& task,
-                ShuffleStats* stats) {
-  if (count <= 1) {
-    task(0);
-    return;
-  }
-  const ThreadPool::RunStats run = policy.EnsurePool().Run(count, task);
-  stats->pool_threads_spawned += run.spawned;
-  stats->pool_tasks_reused += run.reused;
-}
-
-/// Streaming twin of ReduceRange for the budgeted shuffle: consumes one
-/// partition's pairs in grouped order from a SpillMerger (ascending key,
-/// emission order within a key) instead of a materialized vector, so peak
-/// memory is one key group plus the merger's page buffers. Metrics, sink
-/// emissions, and combiner folding are computed exactly as in ReduceRange
-/// — the merged stream is the same sequence the in-memory path reduces.
-template <typename Value>
-void ReduceStream(
-    SpillMerger<Value>* merger,
-    const std::function<void(uint64_t key, std::span<const Value>,
-                             ReduceContext*)>& reduce_fn,
-    const std::function<void(Value&, const Value&)>* combiner,
-    InstanceSink* sink, InstanceSink* records, MapReduceMetrics* metrics) {
-  std::vector<Value> group;
-  uint64_t key = 0;
-  Value value{};
-  bool pending = merger->Next(&key, &value);
-  while (pending) {
-    const uint64_t current = key;
-    group.clear();
-    if (combiner != nullptr) {
-      Value accumulated = value;
-      while ((pending = merger->Next(&key, &value)) && key == current) {
-        (*combiner)(accumulated, value);
-      }
-      group.push_back(accumulated);
-    } else {
-      group.push_back(value);
-      while ((pending = merger->Next(&key, &value)) && key == current) {
-        group.push_back(value);
-      }
-    }
-    ++metrics->distinct_keys;
-    metrics->max_reducer_input =
-        std::max<uint64_t>(metrics->max_reducer_input, group.size());
-    ReduceContext context{&metrics->reduce_cost, sink, records, 0};
-    reduce_fn(current, std::span<const Value>(group), &context);
-    metrics->outputs += context.outputs;
-  }
-}
-
-/// The budgeted round: both shuffle modes with their emission buffers
-/// routed through the paged spill store (mapreduce/spill.h). Map workers
-/// scatter into per-partition SpillChannel buckets (the sort shuffle and
-/// every single-threaded round use one global partition, mirroring the
-/// in-memory mode split); channels spill sorted runs whenever the job's
-/// page pool is over budget. Each partition is then reduced from a stable
-/// streaming merge of its runs plus resident tails, in worker order —
-/// which is exactly the stable sort of the in-memory concatenation, so
-/// instances, emission order, and semantic metrics are byte-identical to
-/// the unbounded path at every thread count (the differential contract
-/// pinned by tests/spill_shuffle_fuzz_test.cc).
-template <typename Input, typename Value>
-MapReduceMetrics RunRoundSpilled(
-    const RoundSpec<Input, Value>& spec, std::span<const Input> inputs,
-    InstanceSink* sink, InstanceSink* records, const ExecutionPolicy& policy) {
-  using CombineFn = typename Emitter<Value>::CombineFn;
-  MapReduceMetrics metrics;
-  metrics.input_records = inputs.size();
-  metrics.key_space = spec.key_space;
-
-  const CombineFn* combiner =
-      (policy.combine && spec.combiner) ? &spec.combiner : nullptr;
-  const auto& map_fn = spec.mapper;
-  const auto& reduce_fn = spec.reducer;
-  const unsigned map_threads = policy.EffectiveThreads(inputs.size());
-  const bool partitioned = policy.num_threads > 1 &&
-                           policy.shuffle == ShuffleMode::kPartitioned;
-  const unsigned partitions =
-      partitioned ? policy.EffectivePartitions() : 1;
-  const KeyPartitioner partitioner(partitions, spec.key_space);
-  if (partitioned) metrics.shuffle.partitions = partitions;
-
-  // The pool outlives the channels (their destructors release their
-  // resident accounting into it), and the channels outlive the reduce
-  // phase (they own the spill files and resident tails it streams from).
-  PagePool pool(policy.shuffle_budget_bytes, policy.spill_backend);
-  std::vector<std::unique_ptr<SpillChannel<Value>>> channels;
-  channels.reserve(map_threads);
-  for (unsigned t = 0; t < map_threads; ++t) {
-    channels.push_back(std::make_unique<SpillChannel<Value>>(&pool,
-                                                             partitions));
-  }
-
-  // Map phase: as the in-memory scatter, but through the channels.
-  const std::vector<size_t> bounds =
-      SliceBoundaries(inputs.size(), map_threads);
-  std::vector<uint64_t> worker_logical(map_threads, 0);
-  RunWorkers(policy, map_threads, [&](size_t t) {
-    Emitter<Value> emitter(channels[t]->buckets(), &partitioner, combiner, 0,
-                           channels[t].get());
-    for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-      map_fn(inputs[i], &emitter);
-    }
-    channels[t]->Finish();
-    worker_logical[t] = emitter.emitted();
-  }, &metrics.shuffle);
-
-  std::vector<uint64_t> partition_pairs(partitions, 0);
-  uint64_t total_pairs = 0;
-  uint64_t logical_pairs = 0;
-  for (unsigned p = 0; p < partitions; ++p) {
-    for (unsigned t = 0; t < map_threads; ++t) {
-      partition_pairs[p] += channels[t]->PairsInPartition(p);
-    }
-    total_pairs += partition_pairs[p];
-  }
-  for (const uint64_t n : worker_logical) logical_pairs += n;
-  metrics.key_value_pairs = logical_pairs;
-  metrics.bytes = logical_pairs * (sizeof(uint64_t) + sizeof(Value));
-  metrics.shuffle.pairs_shipped = total_pairs;
-  metrics.shuffle.shuffle_bytes =
-      total_pairs * (sizeof(uint64_t) + sizeof(Value));
-  metrics.shuffle.pages_spilled = pool.pages_spilled();
-  metrics.shuffle.bytes_spilled = pool.bytes_spilled();
-  metrics.shuffle.spill_files = pool.spill_files();
-
-  if (total_pairs == 0) return metrics;
-
-  // Reduce phase: partitions drained from a dynamic queue, each streamed
-  // through its merge into partition-private metrics and sinks, then
-  // replayed in partition order — the same ordered replay as the
-  // in-memory partitioned path (a single global partition for the sort
-  // mode reduces serially; the stream is already the full grouped order).
-  const bool counts_only = sink != nullptr && sink->CountsOnly();
-  const bool buffered = sink != nullptr && !counts_only;
-  std::vector<MapReduceMetrics> partition_metrics(partitions);
-  std::vector<BufferingSink> partition_sinks(buffered ? partitions : 0);
-  std::vector<BufferingSink> partition_records(records != nullptr ? partitions
-                                                                  : 0);
-  const unsigned reduce_threads =
-      std::min(policy.EffectiveThreads(total_pairs), partitions);
-  std::atomic<unsigned> next_partition{0};
-  RunWorkers(policy, reduce_threads, [&](size_t) {
-    while (true) {
-      const unsigned p = next_partition.fetch_add(1);
-      if (p >= partitions) break;
-      if (partition_pairs[p] == 0) continue;
-      std::vector<SpillSource<Value>> sources;
-      for (unsigned t = 0; t < map_threads; ++t) {
-        channels[t]->AppendSources(p, &sources);
-      }
-      SpillMerger<Value> merger(std::move(sources));
-      ReduceStream(
-          &merger, reduce_fn, combiner,
-          buffered ? static_cast<InstanceSink*>(&partition_sinks[p]) : nullptr,
-          records != nullptr ? static_cast<InstanceSink*>(&partition_records[p])
-                             : nullptr,
-          &partition_metrics[p]);
-    }
-  }, &metrics.shuffle);
-
-  for (unsigned p = 0; p < partitions; ++p) {
-    if (partitioned) {
-      metrics.MergePartitionShard(partition_metrics[p], partition_pairs[p]);
-    } else {
-      metrics.MergeReduceShard(partition_metrics[p]);
-    }
-    if (buffered) partition_sinks[p].FlushTo(sink);
-    if (records != nullptr) partition_records[p].FlushTo(records);
-  }
-  if (counts_only) sink->EmitCount(metrics.outputs);
-  return metrics;
-}
-
-}  // namespace engine_internal
 
 /// Runs one declared round. `sink` receives the reducers' final instances
 /// (EmitInstance), `records` the intermediate records (EmitRecord) a
@@ -539,253 +145,12 @@ MapReduceMetrics RunRound(
     InstanceSink* records = nullptr,
     const ExecutionPolicy& policy = ExecutionPolicy::Serial(),
     uint64_t expected_pairs = 0) {
-  // A round with a shuffle memory budget takes the spilling path (same
-  // results, bounded resident shuffle bytes) whenever the value type is
-  // serializable; see ExecutionPolicy::shuffle_budget_bytes.
-  if constexpr (SpillTraits<Value>::kSpillable) {
-    if (policy.shuffle_budget_bytes > 0) {
-      return engine_internal::RunRoundSpilled(spec, inputs, sink, records,
-                                              policy);
-    }
-  }
-  using Pair = std::pair<uint64_t, Value>;
-  using CombineFn = typename Emitter<Value>::CombineFn;
-  MapReduceMetrics metrics;
-  metrics.input_records = inputs.size();
-  metrics.key_space = spec.key_space;
-
-  const CombineFn* combiner =
-      (policy.combine && spec.combiner) ? &spec.combiner : nullptr;
-  const auto& map_fn = spec.mapper;
-  const auto& reduce_fn = spec.reducer;
-  const unsigned map_threads = policy.EffectiveThreads(inputs.size());
   if (spec.emissions_per_input > 0) {
     expected_pairs = static_cast<uint64_t>(
         spec.emissions_per_input * static_cast<double>(inputs.size()));
   }
-  // With a combiner, a buffer holds at most one pair per distinct key, so
-  // reservations clamp to the declared key space — a counting round with
-  // millions of emissions onto a few thousand keys must not reserve for
-  // the raw emission count.
-  const auto clamp_combined = [&](uint64_t n) {
-    return (combiner != nullptr && spec.key_space > 0)
-               ? std::min(n, spec.key_space)
-               : n;
-  };
-
-  // Fills the map-phase counters: `logical` emissions are the round's
-  // communication cost in the paper's model; `shipped` is what the shuffle
-  // physically moved after map-side combining (equal without a combiner).
-  const auto count_map_phase = [&](uint64_t logical, uint64_t shipped) {
-    metrics.key_value_pairs = logical;
-    metrics.bytes = logical * (sizeof(uint64_t) + sizeof(Value));
-    metrics.shuffle.pairs_shipped = shipped;
-    metrics.shuffle.shuffle_bytes =
-        shipped * (sizeof(uint64_t) + sizeof(Value));
-  };
-
-  // ---------------------------------------------------------------- sort
-  // Sort shuffle (and every single-threaded round — the reference
-  // implementation the parallel paths are checked against).
-  if (policy.num_threads <= 1 || policy.shuffle == ShuffleMode::kSort) {
-    // Map phase. Each worker maps a contiguous input slice into a private
-    // pair vector; concatenating the slices in order reproduces the serial
-    // emission order exactly.
-    std::vector<Pair> pairs;
-    uint64_t logical_pairs = 0;
-    if (map_threads <= 1) {
-      const size_t expected = clamp_combined(expected_pairs);
-      if (expected > 0) pairs.reserve(expected);
-      Emitter<Value> emitter(&pairs, combiner, expected);
-      for (const Input& input : inputs) {
-        map_fn(input, &emitter);
-      }
-      logical_pairs = emitter.emitted();
-    } else {
-      const std::vector<size_t> bounds =
-          engine_internal::SliceBoundaries(inputs.size(), map_threads);
-      std::vector<std::vector<Pair>> slices(map_threads);
-      std::vector<uint64_t> slice_logical(map_threads, 0);
-      engine_internal::RunWorkers(policy, map_threads, [&](size_t t) {
-        const size_t expected = clamp_combined(expected_pairs / map_threads);
-        if (expected > 0) slices[t].reserve(expected + 1);
-        Emitter<Value> emitter(&slices[t], combiner, expected);
-        for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-          map_fn(inputs[i], &emitter);
-        }
-        slice_logical[t] = emitter.emitted();
-      }, &metrics.shuffle);
-      size_t total = 0;
-      for (const auto& slice : slices) total += slice.size();
-      pairs.reserve(total);
-      for (auto& slice : slices) {
-        std::move(slice.begin(), slice.end(), std::back_inserter(pairs));
-      }
-      for (const uint64_t n : slice_logical) logical_pairs += n;
-    }
-    count_map_phase(logical_pairs, pairs.size());
-
-    // A round whose mappers emitted nothing has nothing to sort, no
-    // reducers to run, and no workers worth dispatching.
-    if (pairs.empty()) return metrics;
-
-    // Shuffle: group by key, preserving emission order within a key.
-    std::stable_sort(
-        pairs.begin(), pairs.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-
-    // Reduce phase.
-    const unsigned reduce_threads = policy.EffectiveThreads(pairs.size());
-    if (reduce_threads <= 1) {
-      engine_internal::ReduceRange(pairs, 0, pairs.size(), reduce_fn,
-                                   combiner, sink, records, &metrics);
-      return metrics;
-    }
-
-    // Partition the sorted pairs into contiguous chunks aligned to key
-    // boundaries, balanced by pair count. Chunk t covers a key range
-    // strictly below chunk t+1's, so replaying shard outputs in chunk order
-    // restores the serial ascending-key emission order.
-    std::vector<size_t> starts;
-    starts.reserve(reduce_threads);
-    const size_t target = (pairs.size() + reduce_threads - 1) / reduce_threads;
-    size_t pos = 0;
-    while (pos < pairs.size()) {
-      starts.push_back(pos);
-      size_t next = std::min(pos + target, pairs.size());
-      while (next < pairs.size() &&
-             pairs[next].first == pairs[next - 1].first) {
-        ++next;
-      }
-      pos = next;
-    }
-    starts.push_back(pairs.size());
-
-    const size_t chunks = starts.size() - 1;
-    // Counting sinks don't need their emissions buffered and replayed — the
-    // shard output totals suffice — so workers run sink-less and the counts
-    // are folded in afterwards. Records are always buffered: their contents
-    // feed the next round.
-    const bool counts_only = sink != nullptr && sink->CountsOnly();
-    const bool buffered = sink != nullptr && !counts_only;
-    std::vector<MapReduceMetrics> shard_metrics(chunks);
-    std::vector<BufferingSink> shard_sinks(buffered ? chunks : 0);
-    std::vector<BufferingSink> shard_records(records != nullptr ? chunks : 0);
-    engine_internal::RunWorkers(policy, chunks, [&](size_t c) {
-      engine_internal::ReduceRange(
-          pairs, starts[c], starts[c + 1], reduce_fn, combiner,
-          buffered ? static_cast<InstanceSink*>(&shard_sinks[c]) : nullptr,
-          records != nullptr ? static_cast<InstanceSink*>(&shard_records[c])
-                             : nullptr,
-          &shard_metrics[c]);
-    }, &metrics.shuffle);
-
-    for (size_t c = 0; c < chunks; ++c) {
-      metrics.MergeReduceShard(shard_metrics[c]);
-      if (buffered) shard_sinks[c].FlushTo(sink);
-      if (records != nullptr) shard_records[c].FlushTo(records);
-    }
-    if (counts_only) sink->EmitCount(metrics.outputs);
-    return metrics;
-  }
-
-  // --------------------------------------------------------- partitioned
-  const unsigned partitions = policy.EffectivePartitions();
-  const KeyPartitioner partitioner(partitions, spec.key_space);
-  metrics.shuffle.partitions = partitions;
-
-  // Map phase: worker t scatters its slice's emissions into
-  // scatter[t][p], one bucket per destination partition. Within a bucket
-  // the pairs sit in the worker's emission order.
-  const std::vector<size_t> bounds =
-      engine_internal::SliceBoundaries(inputs.size(), map_threads);
-  std::vector<std::vector<std::vector<Pair>>> scatter(
-      map_threads, std::vector<std::vector<Pair>>(partitions));
-  std::vector<uint64_t> worker_logical(map_threads, 0);
-  engine_internal::RunWorkers(policy, map_threads, [&](size_t t) {
-    if (expected_pairs > 0) {
-      // Spread the expected volume evenly over workers and partitions —
-      // the dense reducer ranks the strategies declare make the even
-      // split a good prior.
-      const size_t per_bucket =
-          clamp_combined(expected_pairs / map_threads) / partitions + 1;
-      for (auto& bucket : scatter[t]) bucket.reserve(per_bucket);
-    }
-    Emitter<Value> emitter(&scatter[t], &partitioner, combiner,
-                           clamp_combined(expected_pairs / map_threads));
-    for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-      map_fn(inputs[i], &emitter);
-    }
-    worker_logical[t] = emitter.emitted();
-  }, &metrics.shuffle);
-
-  std::vector<size_t> partition_pairs(partitions, 0);
-  size_t total_pairs = 0;
-  uint64_t logical_pairs = 0;
-  for (unsigned p = 0; p < partitions; ++p) {
-    for (unsigned t = 0; t < map_threads; ++t) {
-      partition_pairs[p] += scatter[t][p].size();
-    }
-    total_pairs += partition_pairs[p];
-  }
-  for (const uint64_t n : worker_logical) logical_pairs += n;
-  count_map_phase(logical_pairs, total_pairs);
-
-  // Empty round: nothing to group, no reduce workers worth dispatching.
-  if (total_pairs == 0) return metrics;
-
-  // Reduce phase: workers drain partitions from a dynamic queue. Each
-  // partition is grouped by key (counting scatter on dense key ranges,
-  // stable_sort of the worker-order concatenation otherwise — identical
-  // grouped order either way; see group_by_key.h) and reduced into
-  // partition-private metrics/sinks, so nothing below needs a lock.
-  const bool counts_only = sink != nullptr && sink->CountsOnly();
-  const bool buffered = sink != nullptr && !counts_only;
-  std::vector<MapReduceMetrics> partition_metrics(partitions);
-  std::vector<BufferingSink> partition_sinks(buffered ? partitions : 0);
-  std::vector<BufferingSink> partition_records(records != nullptr ? partitions
-                                                                  : 0);
-  // How partition p was grouped (one writer per slot: each partition is
-  // drained exactly once): 1 = counting scatter, 2 = stable_sort.
-  std::vector<uint8_t> partition_grouping(partitions, 0);
-  const unsigned reduce_threads =
-      std::min(policy.EffectiveThreads(total_pairs), partitions);
-  std::atomic<unsigned> next_partition{0};
-  engine_internal::RunWorkers(policy, reduce_threads, [&](size_t) {
-    std::vector<Pair> local;
-    std::vector<std::vector<Pair>*> buckets(map_threads);
-    std::vector<uint32_t> counts;
-    while (true) {
-      const unsigned p = next_partition.fetch_add(1);
-      if (p >= partitions) break;
-      if (partition_pairs[p] == 0) continue;
-      for (unsigned t = 0; t < map_threads; ++t) {
-        buckets[t] = &scatter[t][p];
-      }
-      const bool counted = engine_internal::GroupByKey<Value>(
-          buckets, partition_pairs[p], policy.group, &local, &counts);
-      partition_grouping[p] = counted ? 1 : 2;
-      engine_internal::ReduceRange(
-          local, 0, local.size(), reduce_fn, combiner,
-          buffered ? static_cast<InstanceSink*>(&partition_sinks[p]) : nullptr,
-          records != nullptr ? static_cast<InstanceSink*>(&partition_records[p])
-                             : nullptr,
-          &partition_metrics[p]);
-    }
-  }, &metrics.shuffle);
-
-  // Ordered replay: partitions cover ascending disjoint key ranges, so
-  // merging (and flushing buffered emissions) in partition order
-  // reproduces the serial round's ascending-key order exactly.
-  for (unsigned p = 0; p < partitions; ++p) {
-    metrics.MergePartitionShard(partition_metrics[p], partition_pairs[p]);
-    metrics.shuffle.counting_partitions += partition_grouping[p] == 1;
-    metrics.shuffle.sorted_partitions += partition_grouping[p] == 2;
-    if (buffered) partition_sinks[p].FlushTo(sink);
-    if (records != nullptr) partition_records[p].FlushTo(records);
-  }
-  if (counts_only) sink->EmitCount(metrics.outputs);
-  return metrics;
+  return SelectShuffleBackend<Input, Value>(policy).RunRound(
+      spec, inputs, sink, records, policy, expected_pairs);
 }
 
 }  // namespace smr

@@ -45,6 +45,22 @@ enum class GroupMode {
   kAuto,
 };
 
+/// Where a round's map and reduce workers run. Like every other policy
+/// knob this changes host behavior only — instances, order, and semantic
+/// metrics are identical across backends (the contract pinned by
+/// tests/process_backend_test.cc).
+enum class BackendMode {
+  /// Workers are threads of this process sharing the address space — the
+  /// default, and the only mode whose shuffle never serializes a pair.
+  kThread,
+  /// Map and reduce workers are forked child processes exchanging
+  /// codec-framed pairs with a parent-side coordinator over socketpairs
+  /// (mapreduce/process_backend.h). Every shuffled byte really crosses a
+  /// kernel boundary and is counted in ShuffleStats::*_bytes_on_wire —
+  /// the measured communication cost the paper's model predicts.
+  kProcess,
+};
+
 /// How the simulated map-reduce engine schedules its work on the host.
 ///
 /// The policy changes only wall-clock behavior, never semantics: for every
@@ -88,6 +104,15 @@ struct ExecutionPolicy {
   /// Spill-file factory for budgeted rounds; null = the process default
   /// (real temp files). Tests inject fault backends here.
   SpillBackend* spill_backend = nullptr;
+
+  /// Where workers run: in-process threads (default) or forked worker
+  /// processes shuffling over real sockets. A value type the codec cannot
+  /// serialize (RecordCodec<V>::kEncodable == false — no such type exists
+  /// in the repository) keeps the thread backend.
+  BackendMode backend = BackendMode::kThread;
+
+  /// Worker-process count for BackendMode::kProcess; 0 = num_threads.
+  unsigned process_workers = 0;
 
   /// Map-side combining: when a RoundSpec declares an associative
   /// combiner, apply it (per-worker pre-aggregation plus the reduce-side
@@ -156,6 +181,13 @@ struct ExecutionPolicy {
     return policy;
   }
 
+  ExecutionPolicy WithBackend(BackendMode mode, unsigned workers = 0) const {
+    ExecutionPolicy policy = *this;
+    policy.backend = mode;
+    policy.process_workers = workers;
+    return policy;
+  }
+
   /// The policy's pool, created on first use. Not synchronized: dispatches
   /// happen from the single thread driving the round (the engine's
   /// existing contract); concurrent jobs must use distinct policy objects.
@@ -169,6 +201,15 @@ struct ExecutionPolicy {
     const size_t cap = std::max<size_t>(1, work_items);
     return static_cast<unsigned>(
         std::min<size_t>(std::max(1u, num_threads), cap));
+  }
+
+  /// Worker processes actually worth forking for `work_items` units of
+  /// work under BackendMode::kProcess.
+  unsigned EffectiveProcessWorkers(size_t work_items) const {
+    const size_t cap = std::max<size_t>(1, work_items);
+    const unsigned configured =
+        process_workers > 0 ? process_workers : std::max(1u, num_threads);
+    return static_cast<unsigned>(std::min<size_t>(configured, cap));
   }
 
   /// Partition count the partitioned shuffle will actually use.

@@ -19,6 +19,16 @@ namespace smr {
 struct JobRoundMetrics {
   std::string name;
   MapReduceMetrics metrics;
+
+  /// Semantic equality: round name plus the paper's cost measures.
+  /// Host-side ShuffleStats are excluded via MapReduceMetrics::operator==,
+  /// so two runs of one job compare equal across thread counts, shuffle
+  /// modes, budgets, and backends — the engine's determinism contract at
+  /// job granularity (pinned by tests/mapreduce_test.cc and ridden on by
+  /// the process-backend differential tests).
+  bool operator==(const JobRoundMetrics& other) const {
+    return name == other.name && metrics == other.metrics;
+  }
 };
 
 /// Aggregate cost measures of a multi-round map-reduce job — the summary
@@ -49,6 +59,11 @@ struct JobMetrics {
   std::string RoundTable() const;
 
   std::string ToString() const;
+
+  /// Round-by-round semantic equality (see JobRoundMetrics::operator==).
+  bool operator==(const JobMetrics& other) const {
+    return rounds == other.rounds;
+  }
 };
 
 /// Runs a declared chain of rounds under one ExecutionPolicy, collecting

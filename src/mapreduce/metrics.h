@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "util/cost_model.h"
 
@@ -55,6 +56,21 @@ struct ShuffleStats {
   uint64_t pages_spilled = 0;
   uint64_t bytes_spilled = 0;
   uint64_t spill_files = 0;
+
+  /// Process-backend accounting (BackendMode::kProcess; see
+  /// mapreduce/process_backend.h): worker processes forked for the round,
+  /// and bytes that *really* crossed the kernel socket boundary as
+  /// codec-framed records — map workers -> coordinator during the shuffle
+  /// (`map_bytes_on_wire`) and coordinator <-> reduce workers
+  /// (`reduce_bytes_on_wire`). `link_bytes_on_wire[w]` splits the map
+  /// volume per worker link. These are the measured counterpart of the
+  /// paper's `key_value_pairs x record_size` communication cost
+  /// (bench/bench_backend_comm.cc plots one against the other); all zero
+  /// under the thread backend, where no pair is ever serialized.
+  uint64_t process_workers = 0;
+  uint64_t map_bytes_on_wire = 0;
+  uint64_t reduce_bytes_on_wire = 0;
+  std::vector<uint64_t> link_bytes_on_wire;
 
   /// Persistent-pool accounting for this round's parallel phases: threads
   /// the policy's ThreadPool had to create vs worker tasks served by

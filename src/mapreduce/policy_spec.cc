@@ -19,7 +19,8 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                                 std::string_view shuffle,
                                 std::string_view group,
                                 std::string_view combine,
-                                std::string_view budget) {
+                                std::string_view budget,
+                                std::string_view backend) {
   const auto thread_count = ParseInt64(threads);
   if (!thread_count || *thread_count < 0 ||
       *thread_count > 1 << 20) {
@@ -74,6 +75,24 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                 "got '" + std::string(budget) + "'");
   }
   policy = policy.WithBudget(*budget_bytes);
+
+  if (backend == "process" || backend.rfind("process:", 0) == 0) {
+    unsigned workers = 0;  // 0 = num_threads
+    if (backend != "process") {
+      // Everything after "process:" must be a valid worker count — a
+      // trailing colon with nothing behind it is rejected, not defaulted.
+      const auto parsed = ParseInt64(backend.substr(8));
+      if (!parsed || *parsed < 1 || *parsed > 1 << 10) {
+        PolicyError("backend process:N needs 1 <= N <= 1024, got '" +
+                    std::string(backend) + "'");
+      }
+      workers = static_cast<unsigned>(*parsed);
+    }
+    policy = policy.WithBackend(BackendMode::kProcess, workers);
+  } else if (backend != "thread") {
+    PolicyError("backend must be thread or process[:N], got '" +
+                std::string(backend) + "'");
+  }
   return policy;
 }
 
@@ -102,6 +121,12 @@ std::string DescribePolicy(const ExecutionPolicy& policy) {
   os << ", combine " << (policy.combine ? "on" : "off");
   if (policy.shuffle_budget_bytes > 0) {
     os << ", budget " << policy.shuffle_budget_bytes << " bytes";
+  }
+  if (policy.backend == BackendMode::kProcess) {
+    os << ", process backend ("
+       << (policy.process_workers > 0 ? policy.process_workers
+                                      : policy.num_threads)
+       << " workers)";
   }
   return os.str();
 }

@@ -20,13 +20,17 @@ namespace smr {
 ///   combine  "on" | "off"
 ///   budget   "0" | "BYTES"     shuffle memory budget; byte-size suffixes
 ///            ("64K", "512M", "2G") accepted, 0 = unbounded (never spill)
+///   backend  "thread"          in-process worker threads (the default)
+///            "process[:N]"     N forked worker processes shuffling over
+///                              real sockets (default N = threads)
 ///
 /// Every spec changes only host scheduling, never results.
 ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                                 std::string_view shuffle,
                                 std::string_view group,
                                 std::string_view combine,
-                                std::string_view budget = "0");
+                                std::string_view budget = "0",
+                                std::string_view backend = "thread");
 
 /// One-line human-readable summary ("4 threads, partitioned shuffle
 /// (16 partitions, auto grouping), combine on").

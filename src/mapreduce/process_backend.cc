@@ -1,0 +1,187 @@
+#include "mapreduce/process_backend.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace smr {
+namespace process_internal {
+
+namespace {
+
+std::string Describe(const char* role, size_t index, pid_t pid, int status) {
+  std::string message = std::string(role) + " worker " +
+                        std::to_string(index) + " (pid " +
+                        std::to_string(pid) + ") ";
+  if (WIFSIGNALED(status)) {
+    message += "was killed by signal " + std::to_string(WTERMSIG(status));
+  } else if (WIFEXITED(status)) {
+    message += "exited with status " + std::to_string(WEXITSTATUS(status));
+  } else {
+    message += "stopped abnormally (wait status " + std::to_string(status) +
+               ")";
+  }
+  return message;
+}
+
+}  // namespace
+
+bool SendAll(int fd, const unsigned char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE — the
+    // coordinator turns it into a runtime_error naming the worker.
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw std::runtime_error(std::string("process backend: send failed: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+size_t RecvSome(int fd, unsigned char* out, size_t capacity) {
+  while (true) {
+    const ssize_t n = recv(fd, out, capacity, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    // A peer that died mid-stream reads as EOF; the caller's end-of-stream
+    // bookkeeping decides whether that is a crash.
+    if (errno == ECONNRESET) return 0;
+    throw std::runtime_error(std::string("process backend: recv failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+void ChildFailAndExit(int fd, const char* what) {
+  std::vector<unsigned char> wire;
+  const size_t length = std::strlen(what);
+  AppendFrame(FrameKind::kError,
+              reinterpret_cast<const unsigned char*>(what), length, &wire);
+  SendAll(fd, wire.data(), wire.size());  // best effort: parent may be gone
+  _exit(1);
+}
+
+WorkerCrew::WorkerCrew(const char* role) : role_(role) {}
+
+WorkerCrew::~WorkerCrew() {
+  // Unwinding with live children (a throw anywhere in the round): kill and
+  // reap every one so nothing outlives the round and nothing zombies.
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) close(worker.fd);
+    if (worker.pid > 0) {
+      kill(worker.pid, SIGKILL);
+      int status = 0;
+      while (waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+      }
+    }
+  }
+}
+
+void WorkerCrew::Spawn(const std::function<void(int)>& body) {
+  int sockets[2];
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, sockets) != 0) {
+    throw std::runtime_error(
+        std::string("process backend: socketpair failed: ") +
+        std::strerror(errno));
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(sockets[0]);
+    close(sockets[1]);
+    throw std::runtime_error(std::string("process backend: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Drop the parent ends of every link in this crew so a sibling
+    // cannot hold a peer's socket open past its death, then run the worker
+    // body. _exit (not exit): the child shares the parent's atexit state
+    // and stdio buffers, none of which it may flush or tear down.
+    close(sockets[0]);
+    for (const Worker& other : workers_) {
+      if (other.fd >= 0) close(other.fd);
+    }
+    try {
+      body(sockets[1]);
+    } catch (const std::exception& error) {
+      ChildFailAndExit(sockets[1], error.what());
+    } catch (...) {
+      ChildFailAndExit(sockets[1], "unknown exception in worker");
+    }
+    _exit(0);
+  }
+  close(sockets[1]);
+  workers_.push_back(Worker{pid, sockets[0]});
+}
+
+void WorkerCrew::Reap(size_t index) {
+  Worker& worker = workers_[index];
+  if (worker.fd >= 0) {
+    close(worker.fd);
+    worker.fd = -1;
+  }
+  if (worker.pid <= 0) return;
+  int status = 0;
+  while (waitpid(worker.pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      worker.pid = -1;
+      throw std::runtime_error(
+          std::string("process backend: waitpid failed: ") +
+          std::strerror(errno));
+    }
+  }
+  const pid_t pid = worker.pid;
+  worker.pid = -1;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    throw std::runtime_error("process backend: " +
+                             Describe(role_, index, pid, status));
+  }
+}
+
+void WorkerCrew::ThrowDead(size_t index) {
+  Worker& worker = workers_[index];
+  if (worker.fd >= 0) {
+    close(worker.fd);
+    worker.fd = -1;
+  }
+  int status = 0;
+  pid_t pid = worker.pid;
+  if (worker.pid > 0) {
+    while (waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    worker.pid = -1;
+  }
+  throw std::runtime_error("process backend: " +
+                           Describe(role_, index, pid, status) +
+                           " before finishing its stream");
+}
+
+void FrameBuffer::Append(const unsigned char* data, size_t size) {
+  if (position_ > 0) {
+    bytes_.erase(bytes_.begin(),
+                 bytes_.begin() + static_cast<ptrdiff_t>(position_));
+    position_ = 0;
+  }
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+DecodeStatus FrameBuffer::Next(FrameView* frame) {
+  size_t consumed = 0;
+  const DecodeStatus status = DecodeFrame(
+      bytes_.data() + position_, bytes_.size() - position_, frame, &consumed);
+  if (status == DecodeStatus::kOk) position_ += consumed;
+  return status;
+}
+
+}  // namespace process_internal
+}  // namespace smr

@@ -1,0 +1,562 @@
+#ifndef SMR_MAPREDUCE_PROCESS_BACKEND_H_
+#define SMR_MAPREDUCE_PROCESS_BACKEND_H_
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/codec.h"
+#include "mapreduce/round.h"
+#include "mapreduce/shuffle_backend.h"
+#include "mapreduce/spill.h"
+
+namespace smr {
+
+namespace process_internal {
+
+/// POSIX plumbing for the process backend (defined in process_backend.cc,
+/// the only translation unit that talks to fork/socketpair directly).
+
+/// Sends all of [data, data+size); returns false when the peer is gone
+/// (EPIPE/ECONNRESET — the caller reaps and names the dead worker), throws
+/// on any other failure. SIGPIPE is suppressed (MSG_NOSIGNAL).
+bool SendAll(int fd, const unsigned char* data, size_t size);
+
+/// Reads up to `capacity` bytes; 0 = end of stream; throws on failure.
+size_t RecvSome(int fd, unsigned char* out, size_t capacity);
+
+/// Child-side failure path: ship the message as a kError frame (best
+/// effort) and _exit(1).
+[[noreturn]] void ChildFailAndExit(int fd, const char* what);
+
+struct Worker {
+  pid_t pid = -1;
+  int fd = -1;
+};
+
+/// The round's forked workers of one role ("map" / "reduce"), each joined
+/// to the coordinator by its own socketpair. The destructor SIGKILLs and
+/// reaps every worker not yet reaped — a throw anywhere in the round
+/// tears the crew down instead of leaking children or hanging on one.
+class WorkerCrew {
+ public:
+  explicit WorkerCrew(const char* role);
+  ~WorkerCrew();
+  WorkerCrew(const WorkerCrew&) = delete;
+  WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+  /// socketpair + fork; the child runs body(child_fd) inside a catch-all
+  /// that turns exceptions into a kError frame and a nonzero exit.
+  void Spawn(const std::function<void(int)>& body);
+
+  int fd(size_t index) const { return workers_[index].fd; }
+  size_t size() const { return workers_.size(); }
+
+  /// Closes the link and waits for the worker; throws a runtime_error
+  /// naming role and index if it exited nonzero or on a signal.
+  void Reap(size_t index);
+
+  /// A worker's stream ended (or its link broke) before its end-of-stream
+  /// frame: reap it and throw a runtime_error naming role, index, pid,
+  /// and how it died. Never hangs — the child is already gone.
+  [[noreturn]] void ThrowDead(size_t index);
+
+ private:
+  const char* role_;
+  std::vector<Worker> workers_;
+};
+
+/// Rolling decode window over one link: append received bytes, pull
+/// complete frames. A FrameView from Next() aliases the buffer and is
+/// valid until the next Append.
+class FrameBuffer {
+ public:
+  void Append(const unsigned char* data, size_t size);
+  DecodeStatus Next(FrameView* frame);
+  bool Drained() const { return position_ >= bytes_.size(); }
+
+ private:
+  std::vector<unsigned char> bytes_;
+  size_t position_ = 0;
+};
+
+/// Reducer sink that serializes each emission as one frame ([varint
+/// arity][varint node]*) into a shared output buffer — instances and
+/// records interleave in emission order, so the coordinator's replay
+/// preserves the engine's deterministic order.
+class FrameSink final : public InstanceSink {
+ public:
+  FrameSink(FrameKind kind, std::vector<unsigned char>* out)
+      : kind_(kind), out_(out) {}
+
+  void Emit(std::span<const NodeId> assignment) override {
+    scratch_.clear();
+    AppendVarint(assignment.size(), &scratch_);
+    for (const NodeId node : assignment) AppendVarint(node, &scratch_);
+    AppendFrame(kind_, scratch_.data(), scratch_.size(), out_);
+  }
+
+ private:
+  FrameKind kind_;
+  std::vector<unsigned char>* out_;
+  std::vector<unsigned char> scratch_;
+};
+
+}  // namespace process_internal
+
+/// BackendMode::kProcess: map and reduce workers are forked child
+/// processes, and every shuffled pair really crosses the kernel as a
+/// codec-framed record over a per-worker socketpair — the measured
+/// communication cost the paper only models. The parent is the
+/// coordinator: it forks map workers over contiguous input slices, drains
+/// their pair streams (in worker order, so every parent-side structure is
+/// deterministic) into per-link SpillChannels charged against the policy's
+/// shuffle budget, merges them into grouped order, streams key-aligned
+/// chunks to forked reduce workers, and replays their framed
+/// instance/record/metrics output in worker order. Chunks cover ascending
+/// disjoint key ranges and each child reduces the exact sequence
+/// engine_internal::ReduceRange would see, so instances, order, and
+/// semantic metrics are byte-identical to the thread backend
+/// (tests/process_backend_test.cc pins this differentially).
+///
+/// Wire accounting: ShuffleStats::map_bytes_on_wire /
+/// link_bytes_on_wire[w] count the map->coordinator shuffle,
+/// reduce_bytes_on_wire the coordinator<->reduce traffic; the semantic
+/// `bytes` metric keeps the paper's key_value_pairs x record_size formula
+/// for comparability across backends (bench/bench_backend_comm.cc plots
+/// one against the other).
+///
+/// Crash safety: a worker that dies raises a runtime_error naming its
+/// role, index, pid, and cause (exit status or signal) — never a hang; a
+/// child exception travels back as a kError frame and rethrows in the
+/// parent with the child's message. Worker teardown is RAII (WorkerCrew),
+/// so a throw mid-round leaks no processes.
+///
+/// Stricter reducer contract than the thread backend: reducers run in
+/// forked children, so ONLY what they emit through the ReduceContext
+/// (instances, records, cost counters) reaches the parent. The thread
+/// backend's narrow shared-slot allowance (writing counts[key] on a
+/// shared structure) silently stays in the child's copy-on-write memory
+/// — strategies relying on it (e.g. census's per-node table) should keep
+/// the thread backend for that output.
+template <typename Input, typename Value>
+class ProcessShuffleBackend final : public ShuffleBackend<Input, Value> {
+  static_assert(RecordCodec<Value>::kEncodable,
+                "process backend requires a codec-encodable value type");
+  using Pair = std::pair<uint64_t, Value>;
+  using CombineFn = typename Emitter<Value>::CombineFn;
+
+  /// Pair frames are batched into writes of about this size; links are
+  /// drained in reads of the same size.
+  static constexpr size_t kBatchBytes = 256 * 1024;
+
+ public:
+  const char* name() const override { return "process"; }
+
+  MapReduceMetrics RunRound(const RoundSpec<Input, Value>& spec,
+                            std::span<const Input> inputs, InstanceSink* sink,
+                            InstanceSink* records,
+                            const ExecutionPolicy& policy,
+                            uint64_t /*expected_pairs*/) const override {
+    MapReduceMetrics metrics;
+    metrics.input_records = inputs.size();
+    metrics.key_space = spec.key_space;
+    if (inputs.empty()) return metrics;
+
+    const CombineFn* combiner =
+        (policy.combine && spec.combiner) ? &spec.combiner : nullptr;
+
+    // ------------------------------------------------------------- map
+    // Fork one map worker per input slice. Children inherit the inputs by
+    // fork (it is the *shuffle* whose bytes the paper costs, not the
+    // input distribution); only emitted pairs come back over the wire.
+    const unsigned map_workers = policy.EffectiveProcessWorkers(inputs.size());
+    const std::vector<size_t> bounds =
+        engine_internal::SliceBoundaries(inputs.size(), map_workers);
+    process_internal::WorkerCrew map_crew("map");
+    for (unsigned t = 0; t < map_workers; ++t) {
+      map_crew.Spawn([&, t](int fd) {
+        MapChild(spec, inputs, combiner, bounds[t], bounds[t + 1], fd);
+      });
+    }
+
+    // Drain the links in worker order (sequentially: each child's stream
+    // is independent, so no cycle — and every parent-side structure stays
+    // deterministic). Pairs land in one SpillChannel per link, charged
+    // against the policy's shuffle budget exactly as the spill backend's
+    // map workers would be.
+    PagePool pool(policy.shuffle_budget_bytes, policy.spill_backend);
+    std::vector<std::unique_ptr<SpillChannel<Value>>> channels;
+    channels.reserve(map_workers);
+    for (unsigned t = 0; t < map_workers; ++t) {
+      channels.push_back(std::make_unique<SpillChannel<Value>>(&pool, 1));
+    }
+    metrics.shuffle.process_workers = map_workers;
+    metrics.shuffle.link_bytes_on_wire.assign(map_workers, 0);
+    std::vector<unsigned char> scratch(kBatchBytes);
+    uint64_t logical_pairs = 0;
+    for (unsigned t = 0; t < map_workers; ++t) {
+      process_internal::FrameBuffer buffer;
+      SpillChannel<Value>& channel = *channels[t];
+      bool ended = false;
+      while (!ended) {
+        const size_t n = process_internal::RecvSome(map_crew.fd(t),
+                                                    scratch.data(),
+                                                    scratch.size());
+        if (n == 0) map_crew.ThrowDead(t);
+        metrics.shuffle.link_bytes_on_wire[t] += n;
+        buffer.Append(scratch.data(), n);
+        FrameView frame;
+        DecodeStatus status = DecodeStatus::kOk;
+        while (!ended &&
+               (status = buffer.Next(&frame)) == DecodeStatus::kOk) {
+          switch (frame.kind) {
+            case FrameKind::kPair: {
+              uint64_t key = 0;
+              Value value{};
+              if (RecordCodec<Value>::DecodePairBody(
+                      frame.body, frame.body_bytes, &key, &value) !=
+                  DecodeStatus::kOk) {
+                ThrowMalformed("map", t);
+              }
+              (*channel.buckets())[0].emplace_back(key, value);
+              channel.NotifyAppend();
+              break;
+            }
+            case FrameKind::kEnd:
+              logical_pairs += DecodeCount(frame, "map", t);
+              ended = true;
+              break;
+            case FrameKind::kError:
+              ThrowChildError("map", t, frame);
+            default:
+              ThrowMalformed("map", t);
+          }
+        }
+        if (status == DecodeStatus::kMalformed) ThrowMalformed("map", t);
+      }
+      if (!buffer.Drained()) ThrowMalformed("map", t);
+      channel.Finish();
+      map_crew.Reap(t);
+    }
+
+    uint64_t total_pairs = 0;
+    for (unsigned t = 0; t < map_workers; ++t) {
+      total_pairs += channels[t]->PairsInPartition(0);
+      metrics.shuffle.map_bytes_on_wire +=
+          metrics.shuffle.link_bytes_on_wire[t];
+    }
+    engine_internal::CountMapPhase<Value>(logical_pairs, total_pairs,
+                                          &metrics);
+    metrics.shuffle.pages_spilled = pool.pages_spilled();
+    metrics.shuffle.bytes_spilled = pool.bytes_spilled();
+    metrics.shuffle.spill_files = pool.spill_files();
+    if (total_pairs == 0) return metrics;
+
+    // ---------------------------------------------------------- reduce
+    const unsigned reduce_workers = policy.EffectiveProcessWorkers(total_pairs);
+    metrics.shuffle.process_workers = map_workers + reduce_workers;
+    const bool counts_only = sink != nullptr && sink->CountsOnly();
+    const bool want_instances = sink != nullptr && !counts_only;
+    const bool want_records = records != nullptr;
+    const unsigned char flags = (want_instances ? 1u : 0u) |
+                                (want_records ? 2u : 0u);
+
+    process_internal::WorkerCrew reduce_crew("reduce");
+    for (unsigned r = 0; r < reduce_workers; ++r) {
+      reduce_crew.Spawn(
+          [&](int fd) { ReduceChild(spec, combiner, fd); });
+    }
+
+    // Distribute: stream the merged grouped order (= the thread backend's
+    // sorted concatenation) into key-aligned chunks of ~total/R pairs. A
+    // child buffers its whole output until it has read its end-of-chunk
+    // frame, so the coordinator can finish writing to every child before
+    // reading from any — no send/recv cycle, no deadlock.
+    std::vector<SpillSource<Value>> sources;
+    for (unsigned t = 0; t < map_workers; ++t) {
+      channels[t]->AppendSources(0, &sources);
+    }
+    SpillMerger<Value> merger(std::move(sources));
+    const uint64_t target = (total_pairs + reduce_workers - 1) /
+                            reduce_workers;
+    uint64_t key = 0;
+    Value value{};
+    bool pending = merger.Next(&key, &value);
+    std::vector<unsigned char> wire;
+    wire.reserve(kBatchBytes + RecordCodec<Value>::kMaxFrameSize);
+    for (unsigned r = 0; r < reduce_workers; ++r) {
+      wire.clear();
+      AppendFrame(FrameKind::kHeader, &flags, 1, &wire);
+      uint64_t in_chunk = 0;
+      uint64_t prev_key = 0;
+      while (pending) {
+        // Extend past the target to the next key boundary: a key never
+        // straddles two reduce workers. The last worker takes the rest.
+        if (r + 1 < reduce_workers && in_chunk >= target &&
+            key != prev_key) {
+          break;
+        }
+        RecordCodec<Value>::EncodePair(key, value, &wire);
+        prev_key = key;
+        ++in_chunk;
+        if (wire.size() >= kBatchBytes) {
+          if (!process_internal::SendAll(reduce_crew.fd(r), wire.data(),
+                                         wire.size())) {
+            reduce_crew.ThrowDead(r);
+          }
+          metrics.shuffle.reduce_bytes_on_wire += wire.size();
+          wire.clear();
+        }
+        pending = merger.Next(&key, &value);
+      }
+      unsigned char body[kMaxVarintBytes];
+      AppendFrame(FrameKind::kEnd, body, PutVarint(in_chunk, body), &wire);
+      if (!process_internal::SendAll(reduce_crew.fd(r), wire.data(),
+                                     wire.size())) {
+        reduce_crew.ThrowDead(r);
+      }
+      metrics.shuffle.reduce_bytes_on_wire += wire.size();
+    }
+
+    // Collect: replay each worker's framed output in worker order —
+    // chunks cover ascending disjoint key ranges, and frames within a
+    // chunk are in emission order, so this is exactly the serial engine's
+    // emission order.
+    std::vector<NodeId> assignment;
+    for (unsigned r = 0; r < reduce_workers; ++r) {
+      process_internal::FrameBuffer buffer;
+      bool ended = false;
+      while (!ended) {
+        const size_t n = process_internal::RecvSome(reduce_crew.fd(r),
+                                                    scratch.data(),
+                                                    scratch.size());
+        if (n == 0) reduce_crew.ThrowDead(r);
+        metrics.shuffle.reduce_bytes_on_wire += n;
+        buffer.Append(scratch.data(), n);
+        FrameView frame;
+        DecodeStatus status = DecodeStatus::kOk;
+        while (!ended &&
+               (status = buffer.Next(&frame)) == DecodeStatus::kOk) {
+          switch (frame.kind) {
+            case FrameKind::kInstance:
+              DecodeNodeList(frame, "reduce", r, &assignment);
+              sink->Emit(assignment);
+              break;
+            case FrameKind::kRecord:
+              DecodeNodeList(frame, "reduce", r, &assignment);
+              records->Emit(assignment);
+              break;
+            case FrameKind::kMetrics:
+              MergeMetricsFrame(frame, r, &metrics);
+              break;
+            case FrameKind::kEnd:
+              ended = true;
+              break;
+            case FrameKind::kError:
+              ThrowChildError("reduce", r, frame);
+            default:
+              ThrowMalformed("reduce", r);
+          }
+        }
+        if (status == DecodeStatus::kMalformed) ThrowMalformed("reduce", r);
+      }
+      if (!buffer.Drained()) ThrowMalformed("reduce", r);
+      reduce_crew.Reap(r);
+    }
+    if (counts_only) sink->EmitCount(metrics.outputs);
+    return metrics;
+  }
+
+ private:
+  /// Map worker body (runs in the forked child): map the slice into a
+  /// private buffer — per-child combining, exactly like a thread-backend
+  /// map worker — then ship every pair as a frame, batched, and finish
+  /// with kEnd carrying the logical emission count.
+  static void MapChild(const RoundSpec<Input, Value>& spec,
+                       std::span<const Input> inputs,
+                       const CombineFn* combiner, size_t begin, size_t end,
+                       int fd) {
+    std::vector<Pair> pairs;
+    Emitter<Value> emitter(&pairs, combiner, 0);
+    for (size_t i = begin; i < end; ++i) {
+      spec.mapper(inputs[i], &emitter);
+    }
+    std::vector<unsigned char> wire;
+    wire.reserve(kBatchBytes + RecordCodec<Value>::kMaxFrameSize);
+    for (const Pair& pair : pairs) {
+      RecordCodec<Value>::EncodePair(pair.first, pair.second, &wire);
+      if (wire.size() >= kBatchBytes) {
+        if (!process_internal::SendAll(fd, wire.data(), wire.size())) {
+          _exit(2);  // coordinator is gone; nothing left to report to
+        }
+        wire.clear();
+      }
+    }
+    unsigned char body[kMaxVarintBytes];
+    AppendFrame(FrameKind::kEnd, body, PutVarint(emitter.emitted(), body),
+                &wire);
+    if (!process_internal::SendAll(fd, wire.data(), wire.size())) _exit(2);
+  }
+
+  /// Reduce worker body (runs in the forked child): read the whole chunk,
+  /// reduce it with the engine's own ReduceRange (so grouping, combining,
+  /// and cost accounting are the thread backend's code, not a copy), and
+  /// only then send the buffered output — interleaved instance/record
+  /// frames in emission order, the shard metrics, and kEnd.
+  static void ReduceChild(const RoundSpec<Input, Value>& spec,
+                          const CombineFn* combiner, int fd) {
+    std::vector<Pair> pairs;
+    unsigned char flags = 0;
+    process_internal::FrameBuffer buffer;
+    std::vector<unsigned char> scratch(kBatchBytes);
+    bool ended = false;
+    while (!ended) {
+      const size_t n =
+          process_internal::RecvSome(fd, scratch.data(), scratch.size());
+      if (n == 0) {
+        throw std::runtime_error("coordinator hung up mid-chunk");
+      }
+      buffer.Append(scratch.data(), n);
+      FrameView frame;
+      DecodeStatus status = DecodeStatus::kOk;
+      while (!ended && (status = buffer.Next(&frame)) == DecodeStatus::kOk) {
+        switch (frame.kind) {
+          case FrameKind::kHeader:
+            flags = frame.body_bytes >= 1 ? frame.body[0] : 0;
+            break;
+          case FrameKind::kPair: {
+            uint64_t key = 0;
+            Value value{};
+            if (RecordCodec<Value>::DecodePairBody(
+                    frame.body, frame.body_bytes, &key, &value) !=
+                DecodeStatus::kOk) {
+              throw std::runtime_error("malformed pair frame from coordinator");
+            }
+            pairs.emplace_back(key, value);
+            break;
+          }
+          case FrameKind::kEnd:
+            ended = true;
+            break;
+          default:
+            throw std::runtime_error("unexpected frame from coordinator");
+        }
+      }
+      if (!ended && status == DecodeStatus::kMalformed) {
+        throw std::runtime_error("malformed frame from coordinator");
+      }
+    }
+
+    MapReduceMetrics shard;
+    std::vector<unsigned char> out;
+    process_internal::FrameSink instances(FrameKind::kInstance, &out);
+    process_internal::FrameSink record_sink(FrameKind::kRecord, &out);
+    engine_internal::ReduceRange(
+        pairs, 0, pairs.size(), spec.reducer, combiner,
+        (flags & 1u) ? static_cast<InstanceSink*>(&instances) : nullptr,
+        (flags & 2u) ? static_cast<InstanceSink*>(&record_sink) : nullptr,
+        &shard);
+
+    unsigned char body[7 * kMaxVarintBytes];
+    size_t used = 0;
+    used += PutVarint(shard.distinct_keys, body + used);
+    used += PutVarint(shard.max_reducer_input, body + used);
+    used += PutVarint(shard.outputs, body + used);
+    used += PutVarint(shard.reduce_cost.edges_scanned, body + used);
+    used += PutVarint(shard.reduce_cost.candidates, body + used);
+    used += PutVarint(shard.reduce_cost.index_probes, body + used);
+    used += PutVarint(shard.reduce_cost.outputs, body + used);
+    AppendFrame(FrameKind::kMetrics, body, used, &out);
+    unsigned char end_body[kMaxVarintBytes];
+    AppendFrame(FrameKind::kEnd, end_body, PutVarint(0, end_body), &out);
+    if (!process_internal::SendAll(fd, out.data(), out.size())) _exit(2);
+  }
+
+  [[noreturn]] static void ThrowMalformed(const char* role, size_t index) {
+    throw std::runtime_error("process backend: malformed frame on " +
+                             std::string(role) + " worker " +
+                             std::to_string(index) + "'s link");
+  }
+
+  [[noreturn]] static void ThrowChildError(const char* role, size_t index,
+                                           const FrameView& frame) {
+    throw std::runtime_error(
+        "process backend: " + std::string(role) + " worker " +
+        std::to_string(index) + " failed: " +
+        std::string(reinterpret_cast<const char*>(frame.body),
+                    frame.body_bytes));
+  }
+
+  static uint64_t DecodeCount(const FrameView& frame, const char* role,
+                              size_t index) {
+    uint64_t count = 0;
+    size_t used = 0;
+    if (GetVarint(frame.body, frame.body_bytes, &count, &used) !=
+            DecodeStatus::kOk ||
+        used != frame.body_bytes) {
+      ThrowMalformed(role, index);
+    }
+    return count;
+  }
+
+  static void DecodeNodeList(const FrameView& frame, const char* role,
+                             size_t index, std::vector<NodeId>* out) {
+    out->clear();
+    size_t position = 0;
+    size_t used = 0;
+    uint64_t count = 0;
+    if (GetVarint(frame.body, frame.body_bytes, &count, &used) !=
+        DecodeStatus::kOk) {
+      ThrowMalformed(role, index);
+    }
+    position = used;
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t node = 0;
+      if (GetVarint(frame.body + position, frame.body_bytes - position,
+                    &node, &used) != DecodeStatus::kOk) {
+        ThrowMalformed(role, index);
+      }
+      position += used;
+      out->push_back(static_cast<NodeId>(node));
+    }
+    if (position != frame.body_bytes) ThrowMalformed(role, index);
+  }
+
+  static void MergeMetricsFrame(const FrameView& frame, size_t index,
+                                MapReduceMetrics* metrics) {
+    uint64_t fields[7] = {0};
+    size_t position = 0;
+    for (uint64_t& field : fields) {
+      size_t used = 0;
+      if (GetVarint(frame.body + position, frame.body_bytes - position,
+                    &field, &used) != DecodeStatus::kOk) {
+        ThrowMalformed("reduce", index);
+      }
+      position += used;
+    }
+    if (position != frame.body_bytes) ThrowMalformed("reduce", index);
+    MapReduceMetrics shard;
+    shard.distinct_keys = fields[0];
+    shard.max_reducer_input = fields[1];
+    shard.outputs = fields[2];
+    shard.reduce_cost.edges_scanned = fields[3];
+    shard.reduce_cost.candidates = fields[4];
+    shard.reduce_cost.index_probes = fields[5];
+    shard.reduce_cost.outputs = fields[6];
+    metrics->MergeReduceShard(shard);
+  }
+};
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_PROCESS_BACKEND_H_

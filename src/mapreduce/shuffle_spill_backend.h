@@ -1,0 +1,196 @@
+#ifndef SMR_MAPREDUCE_SHUFFLE_SPILL_BACKEND_H_
+#define SMR_MAPREDUCE_SHUFFLE_SPILL_BACKEND_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/round.h"
+#include "mapreduce/shuffle_backend.h"
+#include "mapreduce/spill.h"
+
+namespace smr {
+
+namespace engine_internal {
+
+/// Streaming twin of ReduceRange for the budgeted shuffle: consumes one
+/// partition's pairs in grouped order from a SpillMerger (ascending key,
+/// emission order within a key) instead of a materialized vector, so peak
+/// memory is one key group plus the merger's page buffers. Metrics, sink
+/// emissions, and combiner folding are computed exactly as in ReduceRange
+/// — the merged stream is the same sequence the in-memory path reduces.
+template <typename Value>
+void ReduceStream(
+    SpillMerger<Value>* merger,
+    const std::function<void(uint64_t key, std::span<const Value>,
+                             ReduceContext*)>& reduce_fn,
+    const std::function<void(Value&, const Value&)>* combiner,
+    InstanceSink* sink, InstanceSink* records, MapReduceMetrics* metrics) {
+  std::vector<Value> group;
+  uint64_t key = 0;
+  Value value{};
+  bool pending = merger->Next(&key, &value);
+  while (pending) {
+    const uint64_t current = key;
+    group.clear();
+    if (combiner != nullptr) {
+      Value accumulated = value;
+      while ((pending = merger->Next(&key, &value)) && key == current) {
+        (*combiner)(accumulated, value);
+      }
+      group.push_back(accumulated);
+    } else {
+      group.push_back(value);
+      while ((pending = merger->Next(&key, &value)) && key == current) {
+        group.push_back(value);
+      }
+    }
+    ++metrics->distinct_keys;
+    metrics->max_reducer_input =
+        std::max<uint64_t>(metrics->max_reducer_input, group.size());
+    ReduceContext context{&metrics->reduce_cost, sink, records, 0};
+    reduce_fn(current, std::span<const Value>(group), &context);
+    metrics->outputs += context.outputs;
+  }
+}
+
+}  // namespace engine_internal
+
+/// The budgeted round: both shuffle modes with their emission buffers
+/// routed through the paged spill store (mapreduce/spill.h). Map workers
+/// scatter into per-partition SpillChannel buckets (the sort shuffle and
+/// every single-threaded round use one global partition, mirroring the
+/// in-memory mode split); channels spill sorted runs whenever the job's
+/// page pool is over budget. Each partition is then reduced from a stable
+/// streaming merge of its runs plus resident tails, in worker order —
+/// which is exactly the stable sort of the in-memory concatenation, so
+/// instances, emission order, and semantic metrics are byte-identical to
+/// the unbounded path at every thread count (the differential contract
+/// pinned by tests/spill_shuffle_fuzz_test.cc). Only instantiable for
+/// spillable values (SpillTraits<Value>::kSpillable).
+template <typename Input, typename Value>
+class SpillShuffleBackend final : public ShuffleBackend<Input, Value> {
+ public:
+  const char* name() const override { return "spill"; }
+
+  MapReduceMetrics RunRound(const RoundSpec<Input, Value>& spec,
+                            std::span<const Input> inputs, InstanceSink* sink,
+                            InstanceSink* records,
+                            const ExecutionPolicy& policy,
+                            uint64_t /*expected_pairs*/) const override {
+    using CombineFn = typename Emitter<Value>::CombineFn;
+    MapReduceMetrics metrics;
+    metrics.input_records = inputs.size();
+    metrics.key_space = spec.key_space;
+
+    const CombineFn* combiner =
+        (policy.combine && spec.combiner) ? &spec.combiner : nullptr;
+    const auto& map_fn = spec.mapper;
+    const auto& reduce_fn = spec.reducer;
+    const unsigned map_threads = policy.EffectiveThreads(inputs.size());
+    const bool partitioned = policy.num_threads > 1 &&
+                             policy.shuffle == ShuffleMode::kPartitioned;
+    const unsigned partitions =
+        partitioned ? policy.EffectivePartitions() : 1;
+    const KeyPartitioner partitioner(partitions, spec.key_space);
+    if (partitioned) metrics.shuffle.partitions = partitions;
+
+    // The pool outlives the channels (their destructors release their
+    // resident accounting into it), and the channels outlive the reduce
+    // phase (they own the spill files and resident tails it streams from).
+    PagePool pool(policy.shuffle_budget_bytes, policy.spill_backend);
+    std::vector<std::unique_ptr<SpillChannel<Value>>> channels;
+    channels.reserve(map_threads);
+    for (unsigned t = 0; t < map_threads; ++t) {
+      channels.push_back(std::make_unique<SpillChannel<Value>>(&pool,
+                                                               partitions));
+    }
+
+    // Map phase: as the in-memory scatter, but through the channels.
+    const std::vector<size_t> bounds =
+        engine_internal::SliceBoundaries(inputs.size(), map_threads);
+    std::vector<uint64_t> worker_logical(map_threads, 0);
+    engine_internal::RunWorkers(policy, map_threads, [&](size_t t) {
+      Emitter<Value> emitter(channels[t]->buckets(), &partitioner, combiner,
+                             0, channels[t].get());
+      for (size_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+        map_fn(inputs[i], &emitter);
+      }
+      channels[t]->Finish();
+      worker_logical[t] = emitter.emitted();
+    }, &metrics.shuffle);
+
+    std::vector<uint64_t> partition_pairs(partitions, 0);
+    uint64_t total_pairs = 0;
+    uint64_t logical_pairs = 0;
+    for (unsigned p = 0; p < partitions; ++p) {
+      for (unsigned t = 0; t < map_threads; ++t) {
+        partition_pairs[p] += channels[t]->PairsInPartition(p);
+      }
+      total_pairs += partition_pairs[p];
+    }
+    for (const uint64_t n : worker_logical) logical_pairs += n;
+    engine_internal::CountMapPhase<Value>(logical_pairs, total_pairs,
+                                          &metrics);
+    metrics.shuffle.pages_spilled = pool.pages_spilled();
+    metrics.shuffle.bytes_spilled = pool.bytes_spilled();
+    metrics.shuffle.spill_files = pool.spill_files();
+
+    if (total_pairs == 0) return metrics;
+
+    // Reduce phase: partitions drained from a dynamic queue, each streamed
+    // through its merge into partition-private metrics and sinks, then
+    // replayed in partition order — the same ordered replay as the
+    // in-memory partitioned path (a single global partition for the sort
+    // mode reduces serially; the stream is already the full grouped order).
+    const bool counts_only = sink != nullptr && sink->CountsOnly();
+    const bool buffered = sink != nullptr && !counts_only;
+    std::vector<MapReduceMetrics> partition_metrics(partitions);
+    std::vector<BufferingSink> partition_sinks(buffered ? partitions : 0);
+    std::vector<BufferingSink> partition_records(
+        records != nullptr ? partitions : 0);
+    const unsigned reduce_threads =
+        std::min(policy.EffectiveThreads(total_pairs), partitions);
+    std::atomic<unsigned> next_partition{0};
+    engine_internal::RunWorkers(policy, reduce_threads, [&](size_t) {
+      while (true) {
+        const unsigned p = next_partition.fetch_add(1);
+        if (p >= partitions) break;
+        if (partition_pairs[p] == 0) continue;
+        std::vector<SpillSource<Value>> sources;
+        for (unsigned t = 0; t < map_threads; ++t) {
+          channels[t]->AppendSources(p, &sources);
+        }
+        SpillMerger<Value> merger(std::move(sources));
+        engine_internal::ReduceStream(
+            &merger, reduce_fn, combiner,
+            buffered ? static_cast<InstanceSink*>(&partition_sinks[p])
+                     : nullptr,
+            records != nullptr
+                ? static_cast<InstanceSink*>(&partition_records[p])
+                : nullptr,
+            &partition_metrics[p]);
+      }
+    }, &metrics.shuffle);
+
+    for (unsigned p = 0; p < partitions; ++p) {
+      if (partitioned) {
+        metrics.MergePartitionShard(partition_metrics[p], partition_pairs[p]);
+      } else {
+        metrics.MergeReduceShard(partition_metrics[p]);
+      }
+      if (buffered) partition_sinks[p].FlushTo(sink);
+      if (records != nullptr) partition_records[p].FlushTo(records);
+    }
+    if (counts_only) sink->EmitCount(metrics.outputs);
+    return metrics;
+  }
+};
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_SHUFFLE_SPILL_BACKEND_H_

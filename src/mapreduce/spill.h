@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "mapreduce/codec.h"
+
 namespace smr {
 
 /// Paged, spillable key-value block store: the out-of-core backing for the
@@ -134,43 +136,18 @@ class PagePool {
   std::atomic<uint64_t> spill_files_{0};
 };
 
-/// Fixed-size byte serialization for shuffle values. The primary template
-/// covers trivially copyable PODs (every hand-written value struct in the
-/// strategies); the std::pair specialization covers Edge and friends,
-/// which libstdc++ does not consider trivially copyable despite being
-/// plain pairs of ids. Values with kSpillable == false (none in the
+/// Spill-store serialization, now just a view over the shared codec layer
+/// (mapreduce/codec.h): spilled records are fixed-size
+/// [raw key][ValueCodec value bytes] blocks — fixed because runs are read
+/// back at computed offsets — so the value encoding is exactly
+/// ValueCodec<V>'s Store/Load, the same bytes the process backend frames
+/// onto its wires. Values with kSpillable == false (none in the
 /// repository today) keep the unbounded in-memory shuffle even when a
 /// budget is set — the engine documents this as the one exception to the
 /// budget knob.
 template <typename V>
-struct SpillTraits {
-  static constexpr bool kSpillable =
-      std::is_trivially_copyable_v<V> && std::is_default_constructible_v<V>;
-  static constexpr size_t kBytes = sizeof(V);
-  static void Store(const V& value, unsigned char* out) {
-    std::memcpy(out, &value, sizeof(V));
-  }
-  static V Load(const unsigned char* in) {
-    V value;
-    std::memcpy(&value, in, sizeof(V));
-    return value;
-  }
-};
-
-template <typename A, typename B>
-struct SpillTraits<std::pair<A, B>> {
-  static constexpr bool kSpillable =
-      SpillTraits<A>::kSpillable && SpillTraits<B>::kSpillable;
-  static constexpr size_t kBytes =
-      SpillTraits<A>::kBytes + SpillTraits<B>::kBytes;
-  static void Store(const std::pair<A, B>& value, unsigned char* out) {
-    SpillTraits<A>::Store(value.first, out);
-    SpillTraits<B>::Store(value.second, out + SpillTraits<A>::kBytes);
-  }
-  static std::pair<A, B> Load(const unsigned char* in) {
-    return {SpillTraits<A>::Load(in),
-            SpillTraits<B>::Load(in + SpillTraits<A>::kBytes)};
-  }
+struct SpillTraits : ValueCodec<V> {
+  static constexpr bool kSpillable = ValueCodec<V>::kEncodable;
 };
 
 /// One sorted, streamable segment of a partition's pairs: either a spilled

@@ -6,6 +6,8 @@
 #include "core/two_round_triangles.h"
 #include "graph/generators.h"
 #include "graph/node_order.h"
+#include "mapreduce/instance_sink.h"
+#include "mapreduce/job.h"
 #include "serial/sampled_triangles.h"
 #include "serial/triangles.h"
 #include "shares/replication_formulas.h"
@@ -141,6 +143,82 @@ TEST(PlanAdvisor, ToStringMentionsMultiRoundCostsWhenPriced) {
       PlanEnumeration(SampleGraph::Triangle(), inputs);
   EXPECT_NE(plan.ToString().find("two-round(cost/edge="), std::string::npos);
   EXPECT_NE(plan.ToString().find("census(cost/edge="), std::string::npos);
+}
+
+// RAII guard: calibration is process-global state, so every test that
+// touches it must leave it empty for the rest of the suite.
+struct CalibrationReset {
+  ~CalibrationReset() { CostCalibration::Global().Clear(); }
+};
+
+TEST(CostCalibration, MeasuredBytesOverrideTheModeledRecordSize) {
+  const CalibrationReset reset;
+  CostCalibration& calibration = CostCalibration::Global();
+  EXPECT_FALSE(calibration.BytesPerPair("bucket").has_value());
+  // Uncalibrated: the modeled 16-byte record, same factor for everyone.
+  EXPECT_DOUBLE_EQ(calibration.BytesPerEdge("bucket", 10.0),
+                   10.0 * CostCalibration::kModeledBytesPerPair);
+
+  calibration.Record("bucket", 11.5);
+  ASSERT_TRUE(calibration.BytesPerPair("bucket").has_value());
+  EXPECT_DOUBLE_EQ(*calibration.BytesPerPair("bucket"), 11.5);
+  EXPECT_DOUBLE_EQ(calibration.BytesPerEdge("bucket", 10.0), 115.0);
+  // Nonpositive measurements are nonsense and ignored.
+  calibration.Record("bucket", 0.0);
+  EXPECT_DOUBLE_EQ(*calibration.BytesPerPair("bucket"), 11.5);
+}
+
+TEST(CostCalibration, ObserveFoldsWireBytesOverLogicalPairs) {
+  const CalibrationReset reset;
+  CostCalibration& calibration = CostCalibration::Global();
+
+  JobMetrics job;
+  JobRoundMetrics round;
+  round.name = "r1";
+  round.metrics.key_value_pairs = 1000;
+  round.metrics.shuffle.map_bytes_on_wire = 12000;
+  job.rounds.push_back(round);
+  round.name = "r2";
+  round.metrics.key_value_pairs = 500;
+  round.metrics.shuffle.map_bytes_on_wire = 6000;
+  job.rounds.push_back(round);
+  calibration.Observe("tworound", job);
+  ASSERT_TRUE(calibration.BytesPerPair("tworound").has_value());
+  EXPECT_DOUBLE_EQ(*calibration.BytesPerPair("tworound"), 12.0);
+
+  // A thread-backend job (nothing on the wire) calibrates nothing.
+  JobMetrics unmeasured;
+  unmeasured.rounds.push_back({"r", MapReduceMetrics{}});
+  unmeasured.rounds[0].metrics.key_value_pairs = 100;
+  calibration.Observe("bucket", unmeasured);
+  EXPECT_FALSE(calibration.BytesPerPair("bucket").has_value());
+}
+
+TEST(CostCalibration, FlipsTheAutoStrategysPick) {
+  const CalibrationReset reset;
+  const SampleGraph pattern = SampleGraph::Triangle();
+  const Graph graph = ErdosRenyi(200, 800, 5);
+
+  const auto resolved_by_auto = [&]() {
+    CountingSink sink;
+    const EnumerationResult result = StrategyRegistry::Global().Run(
+        EnumerationQuery::Undirected(pattern, graph)
+            .WithStrategy("auto:500")
+            .WithSink(&sink));
+    return result.resolved_spec.name;
+  };
+
+  const std::string baseline = resolved_by_auto();
+  // A measured per-pair cost 1000x the modeled record makes the baseline
+  // winner the most expensive candidate — auto must pick something else.
+  CostCalibration::Global().Record(
+      baseline, 1000.0 * CostCalibration::kModeledBytesPerPair);
+  const std::string recalibrated = resolved_by_auto();
+  EXPECT_NE(recalibrated, baseline);
+
+  // Clearing the calibration restores the closed-form pick.
+  CostCalibration::Global().Clear();
+  EXPECT_EQ(resolved_by_auto(), baseline);
 }
 
 TEST(SampledTriangles, FullProbabilityIsExact) {

@@ -121,6 +121,58 @@ TEST(CollectingSink, KeysAreSortedMultiset) {
   EXPECT_EQ(keys[2], (InstanceKey{{3, 4}}));  // duplicate preserved
 }
 
+// Regression pin for the determinism contract's fine print: ShuffleStats
+// is host-side observability (it legitimately varies with thread counts,
+// shuffle modes, budgets, and backends), so mutating EVERY one of its
+// fields must leave MapReduceMetrics — and therefore JobMetrics — equal.
+// A field added to ShuffleStats without this property breaks the engine's
+// cross-policy byte-identical guarantee; a field added without extending
+// this test is caught by review of the struct/test pair.
+TEST(Metrics, EveryShuffleStatsFieldIsExcludedFromSemanticEquality) {
+  MapReduceMetrics base;
+  base.input_records = 10;
+  base.key_value_pairs = 30;
+  base.distinct_keys = 5;
+  base.outputs = 4;
+
+  MapReduceMetrics noisy = base;
+  noisy.shuffle.partitions = 7;
+  noisy.shuffle.max_partition_pairs = 11;
+  noisy.shuffle.pairs_shipped = 13;
+  noisy.shuffle.shuffle_bytes = 17;
+  noisy.shuffle.counting_partitions = 19;
+  noisy.shuffle.sorted_partitions = 23;
+  noisy.shuffle.pages_spilled = 29;
+  noisy.shuffle.bytes_spilled = 31;
+  noisy.shuffle.spill_files = 37;
+  noisy.shuffle.process_workers = 41;
+  noisy.shuffle.map_bytes_on_wire = 43;
+  noisy.shuffle.reduce_bytes_on_wire = 47;
+  noisy.shuffle.link_bytes_on_wire = {53, 59};
+  noisy.shuffle.pool_threads_spawned = 61;
+  noisy.shuffle.pool_tasks_reused = 67;
+  EXPECT_TRUE(noisy == base);
+  EXPECT_TRUE(base == noisy);
+
+  // The exclusion lifts through the job-level equality too.
+  JobMetrics job_a;
+  job_a.rounds.push_back({"round", base});
+  JobMetrics job_b;
+  job_b.rounds.push_back({"round", noisy});
+  EXPECT_TRUE(job_a == job_b);
+
+  // ... but semantic fields still compare: same stats, different costs.
+  MapReduceMetrics different = noisy;
+  different.outputs = 5;
+  EXPECT_FALSE(different == base);
+  JobMetrics job_c;
+  job_c.rounds.push_back({"round", different});
+  EXPECT_FALSE(job_a == job_c);
+  JobMetrics renamed;
+  renamed.rounds.push_back({"other", base});
+  EXPECT_FALSE(job_a == renamed);
+}
+
 TEST(Metrics, ToStringMentionsFields) {
   MapReduceMetrics metrics;
   metrics.input_records = 10;

@@ -555,6 +555,40 @@ TEST(PolicySpec, ChecksEveryKnobAndRejectsTrailingColon) {
                std::invalid_argument);
   EXPECT_THROW(PolicyFromSpecs("1", "partition", "auto", "bogus"),
                std::invalid_argument);
+
+  // Backend spec: "thread" (default), "process", "process:N" — anything
+  // else, a trailing colon, garbage, or an absurd worker count throws.
+  const ExecutionPolicy process_policy =
+      PolicyFromSpecs("2", "partition", "auto", "on", "0", "process:4");
+  EXPECT_EQ(process_policy.backend, BackendMode::kProcess);
+  EXPECT_EQ(process_policy.process_workers, 4u);
+  const ExecutionPolicy process_default =
+      PolicyFromSpecs("3", "partition", "auto", "on", "0", "process");
+  EXPECT_EQ(process_default.backend, BackendMode::kProcess);
+  EXPECT_EQ(process_default.process_workers, 0u);  // 0 = num_threads
+  EXPECT_EQ(process_default.EffectiveProcessWorkers(100), 3u);
+  EXPECT_EQ(PolicyFromSpecs("1", "partition", "auto", "on", "0", "thread")
+                .backend,
+            BackendMode::kThread);
+  EXPECT_THROW(PolicyFromSpecs("1", "partition", "auto", "on", "0", "bogus"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PolicyFromSpecs("1", "partition", "auto", "on", "0", "process:"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PolicyFromSpecs("1", "partition", "auto", "on", "0", "process:0"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PolicyFromSpecs("1", "partition", "auto", "on", "0", "process:x"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      PolicyFromSpecs("1", "partition", "auto", "on", "0", "process:99999"),
+      std::invalid_argument);
+
+  EXPECT_NE(DescribePolicy(process_policy).find("process backend (4 workers)"),
+            std::string::npos);
+  EXPECT_EQ(DescribePolicy(ExecutionPolicy::Serial()).find("process"),
+            std::string::npos);
 }
 
 TEST(StrategyRegistry, WrapperAndDirectQueryShareOneCodePath) {
