@@ -2,11 +2,15 @@
 // probes, serial triangle enumeration, the CQ evaluator, the bucket-oriented
 // map-reduce round, and the share optimizer.
 
+#include <algorithm>
+#include <cstdio>
+#include <random>
 #include <thread>
 
 #include <benchmark/benchmark.h>
 
 #include "core/subgraph_enumerator.h"
+#include "graph/intersect.h"
 #include "mapreduce/thread_pool.h"
 #include "cq/cq_evaluator.h"
 #include "cq/cq_generation.h"
@@ -28,6 +32,54 @@ void BM_EdgeIndexProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdgeIndexProbe);
+
+/// Sorted lists with ~50% mutual overlap; `ratio` shrinks the first list to
+/// size/ratio, moving the workload from the block-compare regime (1:1) into
+/// the skewed regime the galloping / narrow-side paths serve.
+std::pair<std::vector<NodeId>, std::vector<NodeId>> IntersectInputs(
+    size_t size, size_t ratio) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<NodeId> dist(0,
+                                             static_cast<NodeId>(4 * size));
+  auto make = [&](size_t n) {
+    std::vector<NodeId> v(n);
+    for (NodeId& x : v) x = dist(rng);
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  return {make(std::max<size_t>(1, size / ratio)), make(size)};
+}
+
+void BM_IntersectCount(benchmark::State& state) {
+  const auto [a, b] = IntersectInputs(static_cast<size_t>(state.range(0)),
+                                      static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectCount(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCount)
+    ->ArgNames({"size", "ratio"})
+    ->Args({4096, 1})
+    ->Args({4096, 32})
+    ->Args({4096, 1024});
+
+void BM_IntersectCountScalar(benchmark::State& state) {
+  const auto [a, b] = IntersectInputs(static_cast<size_t>(state.range(0)),
+                                      static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_detail::IntersectCountScalar(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectCountScalar)
+    ->ArgNames({"size", "ratio"})
+    ->Args({4096, 1})
+    ->Args({4096, 32})
+    ->Args({4096, 1024});
 
 void BM_SerialTriangles(benchmark::State& state) {
   const Graph g =
@@ -148,4 +200,14 @@ BENCHMARK(BM_ThreadSpawnDispatch);
 }  // namespace
 }  // namespace smr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Which ISA the intersection kernels dispatched to — a measurement is
+  // meaningless without it (set SMR_FORCE_SCALAR=1 to pin the scalar path).
+  std::printf("intersect kernels: %s\n",
+              smr::SimdLevelName(smr::ActiveSimdLevel()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

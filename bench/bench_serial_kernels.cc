@@ -6,10 +6,15 @@
 //    ops grow ~ m^{5/2} (reported as ops / m^{5/2}),
 //  * decomposition-based enumeration (Theorem 7.2) for the lollipop.
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <random>
+#include <vector>
 
 #include "graph/generators.h"
+#include "graph/intersect.h"
 #include "graph/node_order.h"
 #include "serial/decomposition.h"
 #include "serial/matcher.h"
@@ -20,7 +25,51 @@
 namespace smr {
 namespace {
 
+/// Scalar vs dispatched intersection throughput at several size ratios —
+/// the primitive everything in the Lemma 7.1 tables below bottoms out in.
+void RunIntersectTable() {
+  std::printf("sorted-set intersection (dispatched = %s)\n\n",
+              SimdLevelName(ActiveSimdLevel()));
+  std::printf("%8s %8s %12s %14s %14s %8s\n", "|a|", "|b|", "matches",
+              "scalar ns/op", "dispatch ns/op", "speedup");
+  std::mt19937 rng(99);
+  for (const size_t ratio : {size_t{1}, size_t{32}, size_t{1024}}) {
+    const size_t size = 4096;
+    std::uniform_int_distribution<NodeId> dist(
+        0, static_cast<NodeId>(4 * size));
+    auto make = [&](size_t n) {
+      std::vector<NodeId> v(n);
+      for (NodeId& x : v) x = dist(rng);
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      return v;
+    };
+    const auto a = make(std::max<size_t>(1, size / ratio));
+    const auto b = make(size);
+    auto time_ns = [&](auto&& fn) {
+      const int reps = 2000;
+      volatile size_t sink = 0;
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) sink = sink + fn(a, b);
+      const auto stop = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::nano>(stop - start).count() /
+             reps;
+    };
+    const double scalar_ns = time_ns(intersect_detail::IntersectCountScalar);
+    const double dispatch_ns = time_ns(
+        [](std::span<const NodeId> x, std::span<const NodeId> y) {
+          return IntersectCount(x, y);
+        });
+    std::printf("%8zu %8zu %12zu %14.1f %14.1f %7.2fx\n", a.size(), b.size(),
+                IntersectCount(a, b), scalar_ns, dispatch_ns,
+                scalar_ns / dispatch_ns);
+  }
+  std::printf("\n");
+}
+
 void Run() {
+  RunIntersectTable();
+
   std::printf("Lemma 7.1 / O(m^{3/2}) kernels\n\n");
   std::printf("%8s %12s %14s %12s %14s %12s\n", "m", "2-paths",
               "2path/m^1.5", "triangles", "tri ops", "ops/m^1.5");

@@ -21,6 +21,7 @@
 #include "core/subgraph_enumerator.h"
 #include "directed/directed_graph.h"
 #include "graph/generators.h"
+#include "graph/intersect.h"
 #include "graph/io.h"
 #include "graph/statistics.h"
 #include "labeled/labeled_graph.h"
@@ -300,6 +301,8 @@ int RunCli(int argc, char** argv) {
   const smr::Graph graph = ParseInput(*input_spec);
   std::printf("pattern: %s\n", pattern.ToString().c_str());
   std::printf("graph:   n=%u m=%zu\n", graph.num_nodes(), graph.num_edges());
+  std::printf("kernels: %s\n",
+              smr::SimdLevelName(smr::ActiveSimdLevel()));
   if (stats) {
     std::printf("stats:   %s\n",
                 smr::ComputeStatistics(graph).ToString().c_str());

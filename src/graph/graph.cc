@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/intersect.h"
+
 namespace smr {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return ContainsSorted(Neighbors(u), v);
+}
 
 Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
     : num_nodes_(num_nodes) {

@@ -48,37 +48,15 @@ class Graph {
   size_t MaxDegree() const { return max_degree_; }
 
   /// Adjacency test over the smaller-degree endpoint's sorted CSR neighbor
-  /// list. Replaces a hashed edge set — probing the CSR we already store
-  /// drops the second O(m) index allocation and its hash per probe. Short
-  /// lists (the common case on sparse graphs) take a forward scan over
-  /// contiguous, cache-resident entries; long lists a branchless binary
-  /// search whose conditional-move steps the predictor cannot mispredict.
-  bool HasEdge(NodeId u, NodeId v) const {
-    if (u == v) return false;
-    if (Degree(u) > Degree(v)) std::swap(u, v);
-    const NodeId* first = adjacency_.data() + offsets_[u];
-    size_t length = offsets_[u + 1] - offsets_[u];
-    if (length <= kLinearProbeDegree) {
-      for (size_t i = 0; i < length; ++i) {
-        if (first[i] >= v) return first[i] == v;
-      }
-      return false;
-    }
-    // Branchless lower_bound: each step halves the window with a
-    // conditional move.
-    while (length > 1) {
-      const size_t half = length / 2;
-      first += (first[half - 1] < v) ? half : 0;
-      length -= half;
-    }
-    return *first == v;
-  }
+  /// list, delegated to the runtime-dispatched membership kernel
+  /// (graph/intersect.h): the SIMD paths sweep short lists a whole vector
+  /// block per compare and narrow long ones with a branchless binary search;
+  /// the scalar fallback is the forward-scan / cmov-search hybrid this
+  /// method used to inline. Probing the CSR we already store (rather than a
+  /// hashed edge set) keeps the index allocation-free.
+  bool HasEdge(NodeId u, NodeId v) const;
 
  private:
-  /// Below this degree a forward scan beats the search (one predictable
-  /// branch per element vs log2 dependent loads).
-  static constexpr size_t kLinearProbeDegree = 16;
-
   NodeId num_nodes_;
   std::vector<Edge> edges_;
   std::vector<size_t> offsets_;

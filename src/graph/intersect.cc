@@ -1,0 +1,497 @@
+#include "graph/intersect.h"
+
+#include <cstdlib>
+#include <utility>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SMR_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define SMR_X86_DISPATCH 0
+#endif
+
+namespace smr {
+
+namespace intersect_detail {
+
+// ---------------------------------------------------------------- scalar
+
+namespace {
+
+/// Galloping search: smallest index i in [lo, n) with data[i] >= v.
+/// Doubling probe then branchless binary search over the bracketed window —
+/// O(log distance) instead of O(log n), which is what makes skewed
+/// intersections (|a| << |b|) linear in the small list.
+inline size_t GallopLowerBound(const NodeId* data, size_t lo, size_t n,
+                               NodeId v) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < n && data[hi] < v) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  if (hi > n) hi = n;
+  // Binary search in the bracketed window [lo, hi).
+  const NodeId* first = data + lo;
+  size_t length = hi - lo;
+  while (length > 0) {
+    const size_t half = length / 2;
+    if (first[half] < v) {
+      first += half + 1;
+      length -= half + 1;
+    } else {
+      length = half;
+    }
+  }
+  return static_cast<size_t>(first - data);
+}
+
+/// When one list is at least this many times longer than the other, per-
+/// element galloping into the long list beats the linear merge.
+constexpr size_t kGallopRatio = 32;
+
+template <bool kEmit>
+size_t IntersectScalarImpl(std::span<const NodeId> a, std::span<const NodeId> b,
+                           NodeId* out) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty() || b.empty() || a.back() < b.front() || b.back() < a.front()) {
+    return 0;
+  }
+  size_t count = 0;
+  if (b.size() / (a.size() + 1) >= kGallopRatio) {
+    size_t j = 0;
+    for (const NodeId v : a) {
+      j = GallopLowerBound(b.data(), j, b.size(), v);
+      if (j == b.size()) break;
+      if (b[j] == v) {
+        if constexpr (kEmit) out[count] = v;
+        ++count;
+        ++j;
+      }
+    }
+    return count;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const NodeId av = a[i];
+    const NodeId bv = b[j];
+    if (av == bv) {
+      if constexpr (kEmit) out[count] = av;
+      ++count;
+      ++i;
+      ++j;
+    } else if (av < bv) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IntersectCountScalar(std::span<const NodeId> a,
+                            std::span<const NodeId> b) {
+  return IntersectScalarImpl<false>(a, b, nullptr);
+}
+
+size_t IntersectIntoScalar(std::span<const NodeId> a, std::span<const NodeId> b,
+                           NodeId* out) {
+  return IntersectScalarImpl<true>(a, b, out);
+}
+
+bool ContainsSortedScalar(std::span<const NodeId> sorted, NodeId v) {
+  const NodeId* first = sorted.data();
+  size_t length = sorted.size();
+  if (length == 0) return false;
+  if (length <= 16) {
+    for (size_t i = 0; i < length; ++i) {
+      if (first[i] >= v) return first[i] == v;
+    }
+    return false;
+  }
+  // Branchless lower_bound: each step halves the window with a conditional
+  // move the predictor cannot mispredict.
+  while (length > 1) {
+    const size_t half = length / 2;
+    first += (first[half - 1] < v) ? half : 0;
+    length -= half;
+  }
+  return *first == v;
+}
+
+#if SMR_X86_DISPATCH
+
+// ---------------------------------------------------------------- SSE4.2
+
+namespace {
+
+/// Shuffle masks for left-packing the matched lanes of a 4x32-bit vector:
+/// entry m (a 4-bit match mask) moves the set lanes to the front. Built once;
+/// 16 entries x 16 bytes.
+alignas(16) constexpr uint8_t kPack4[16][16] = {
+#define SMR_L(i) 4 * (i), 4 * (i) + 1, 4 * (i) + 2, 4 * (i) + 3
+#define SMR_X 0x80, 0x80, 0x80, 0x80
+    {SMR_X, SMR_X, SMR_X, SMR_X},          // 0000
+    {SMR_L(0), SMR_X, SMR_X, SMR_X},       // 0001
+    {SMR_L(1), SMR_X, SMR_X, SMR_X},       // 0010
+    {SMR_L(0), SMR_L(1), SMR_X, SMR_X},    // 0011
+    {SMR_L(2), SMR_X, SMR_X, SMR_X},       // 0100
+    {SMR_L(0), SMR_L(2), SMR_X, SMR_X},    // 0101
+    {SMR_L(1), SMR_L(2), SMR_X, SMR_X},    // 0110
+    {SMR_L(0), SMR_L(1), SMR_L(2), SMR_X},  // 0111
+    {SMR_L(3), SMR_X, SMR_X, SMR_X},       // 1000
+    {SMR_L(0), SMR_L(3), SMR_X, SMR_X},    // 1001
+    {SMR_L(1), SMR_L(3), SMR_X, SMR_X},    // 1010
+    {SMR_L(0), SMR_L(1), SMR_L(3), SMR_X},  // 1011
+    {SMR_L(2), SMR_L(3), SMR_X, SMR_X},    // 1100
+    {SMR_L(0), SMR_L(2), SMR_L(3), SMR_X},  // 1101
+    {SMR_L(1), SMR_L(2), SMR_L(3), SMR_X},  // 1110
+    {SMR_L(0), SMR_L(1), SMR_L(2), SMR_L(3)},  // 1111
+#undef SMR_L
+#undef SMR_X
+};
+
+/// Block-wise 4-vs-4 intersection: compare a's block against the four
+/// rotations of b's block (all 16 pairings in 4 compares), then advance
+/// whichever block's maximum is smaller — the classic merge step, four
+/// elements at a time. Tails and heavily skewed lists fall back to the
+/// scalar kernel, which already gallops.
+template <bool kEmit>
+__attribute__((target("sse4.2"))) size_t IntersectSse42Impl(
+    std::span<const NodeId> a, std::span<const NodeId> b, NodeId* out) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty() || b.empty() || a.back() < b.front() || b.back() < a.front()) {
+    return 0;
+  }
+  if (a.size() < 4 || b.size() / (a.size() + 1) >= kGallopRatio) {
+    return IntersectScalarImpl<kEmit>(a, b, out);
+  }
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  const size_t a_end = a.size() & ~size_t{3};
+  const size_t b_end = b.size() & ~size_t{3};
+  while (i < a_end && j < b_end) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a.data() + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b.data() + j));
+    const __m128i r1 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1));
+    const __m128i r2 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m128i r3 = _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3));
+    const __m128i eq = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi32(va, vb), _mm_cmpeq_epi32(va, r1)),
+        _mm_or_si128(_mm_cmpeq_epi32(va, r2), _mm_cmpeq_epi32(va, r3)));
+    const int mask = _mm_movemask_ps(_mm_castsi128_ps(eq));
+    if constexpr (kEmit) {
+      const __m128i packed = _mm_shuffle_epi8(
+          va, _mm_load_si128(reinterpret_cast<const __m128i*>(kPack4[mask])));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + count), packed);
+    }
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+    const NodeId a_max = a[i + 3];
+    const NodeId b_max = b[j + 3];
+    i += (a_max <= b_max) ? 4 : 0;
+    j += (b_max <= a_max) ? 4 : 0;
+  }
+  // Scalar tail over the unconsumed suffixes.
+  while (i < a.size() && j < b.size()) {
+    const NodeId av = a[i];
+    const NodeId bv = b[j];
+    if (av == bv) {
+      if constexpr (kEmit) out[count] = av;
+      ++count;
+      ++i;
+      ++j;
+    } else if (av < bv) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IntersectCountSse42(std::span<const NodeId> a,
+                           std::span<const NodeId> b) {
+  return IntersectSse42Impl<false>(a, b, nullptr);
+}
+
+size_t IntersectIntoSse42(std::span<const NodeId> a, std::span<const NodeId> b,
+                          NodeId* out) {
+  return IntersectSse42Impl<true>(a, b, out);
+}
+
+__attribute__((target("sse4.2"))) bool ContainsSortedSse42(
+    std::span<const NodeId> sorted, NodeId v) {
+  size_t length = sorted.size();
+  if (length == 0) return false;
+  const NodeId* first = sorted.data();
+  // Narrow long lists to a small window first (same probe count as the
+  // scalar path), then sweep the window four lanes per compare.
+  while (length > 32) {
+    const size_t half = length / 2;
+    first += (first[half - 1] < v) ? half : 0;
+    length -= half;
+  }
+  const __m128i needle = _mm_set1_epi32(static_cast<int>(v));
+  size_t i = 0;
+  for (; i + 4 <= length; i += 4) {
+    const __m128i block =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(first + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(block, needle)) != 0) return true;
+    // Sorted input: once the block's last element passes v, stop.
+    if (first[i + 3] >= v) return false;
+  }
+  for (; i < length; ++i) {
+    if (first[i] >= v) return first[i] == v;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------------- AVX2
+
+namespace {
+
+/// Left-pack permutation indices for 8x32-bit lanes, indexed by the 8-bit
+/// match mask; generated at load time (256 x 8 int32).
+struct Pack8Table {
+  alignas(32) int32_t rows[256][8];
+  constexpr Pack8Table() : rows() {
+    for (int mask = 0; mask < 256; ++mask) {
+      int n = 0;
+      for (int lane = 0; lane < 8; ++lane) {
+        if (mask & (1 << lane)) rows[mask][n++] = lane;
+      }
+      for (; n < 8; ++n) rows[mask][n] = 0;
+    }
+  }
+};
+constexpr Pack8Table kPack8;
+
+/// 8-vs-8 block intersection: compare a's block against all eight rotations
+/// of b's block, left-pack the matches with a permutation lookup. The
+/// all-pairs compare costs 8 shuffles + 8 compares per step but consumes
+/// up to 16 elements, and every instruction is independent — the OoO core
+/// overlaps them almost perfectly.
+template <bool kEmit>
+__attribute__((target("avx2"))) size_t IntersectAvx2Impl(
+    std::span<const NodeId> a, std::span<const NodeId> b, NodeId* out) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty() || b.empty() || a.back() < b.front() || b.back() < a.front()) {
+    return 0;
+  }
+  if (a.size() < 8 || b.size() / (a.size() + 1) >= kGallopRatio) {
+    return IntersectSse42Impl<kEmit>(a, b, out);
+  }
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  const size_t a_end = a.size() & ~size_t{7};
+  const size_t b_end = b.size() & ~size_t{7};
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  while (i < a_end && j < b_end) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a.data() + i));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b.data() + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    for (int r = 1; r < 8; ++r) {
+      vb = _mm256_permutevar8x32_epi32(vb, rot1);
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+    }
+    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq));
+    if constexpr (kEmit) {
+      const __m256i perm = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(kPack8.rows[mask]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + count),
+                          _mm256_permutevar8x32_epi32(va, perm));
+    }
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+    const NodeId a_max = a[i + 7];
+    const NodeId b_max = b[j + 7];
+    i += (a_max <= b_max) ? 8 : 0;
+    j += (b_max <= a_max) ? 8 : 0;
+  }
+  while (i < a.size() && j < b.size()) {
+    const NodeId av = a[i];
+    const NodeId bv = b[j];
+    if (av == bv) {
+      if constexpr (kEmit) out[count] = av;
+      ++count;
+      ++i;
+      ++j;
+    } else if (av < bv) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IntersectCountAvx2(std::span<const NodeId> a,
+                          std::span<const NodeId> b) {
+  return IntersectAvx2Impl<false>(a, b, nullptr);
+}
+
+size_t IntersectIntoAvx2(std::span<const NodeId> a, std::span<const NodeId> b,
+                         NodeId* out) {
+  return IntersectAvx2Impl<true>(a, b, out);
+}
+
+__attribute__((target("avx2"))) bool ContainsSortedAvx2(
+    std::span<const NodeId> sorted, NodeId v) {
+  size_t length = sorted.size();
+  if (length == 0) return false;
+  const NodeId* first = sorted.data();
+  while (length > 64) {
+    const size_t half = length / 2;
+    first += (first[half - 1] < v) ? half : 0;
+    length -= half;
+  }
+  const __m256i needle = _mm256_set1_epi32(static_cast<int>(v));
+  size_t i = 0;
+  for (; i + 8 <= length; i += 8) {
+    const __m256i block =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(first + i));
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(block, needle)) != 0) {
+      return true;
+    }
+    if (first[i + 7] >= v) return false;
+  }
+  for (; i < length; ++i) {
+    if (first[i] >= v) return first[i] == v;
+  }
+  return false;
+}
+
+#else  // !SMR_X86_DISPATCH — non-x86 builds alias every level to scalar.
+
+size_t IntersectCountSse42(std::span<const NodeId> a,
+                           std::span<const NodeId> b) {
+  return IntersectCountScalar(a, b);
+}
+size_t IntersectIntoSse42(std::span<const NodeId> a, std::span<const NodeId> b,
+                          NodeId* out) {
+  return IntersectIntoScalar(a, b, out);
+}
+bool ContainsSortedSse42(std::span<const NodeId> sorted, NodeId v) {
+  return ContainsSortedScalar(sorted, v);
+}
+size_t IntersectCountAvx2(std::span<const NodeId> a,
+                          std::span<const NodeId> b) {
+  return IntersectCountScalar(a, b);
+}
+size_t IntersectIntoAvx2(std::span<const NodeId> a, std::span<const NodeId> b,
+                         NodeId* out) {
+  return IntersectIntoScalar(a, b, out);
+}
+bool ContainsSortedAvx2(std::span<const NodeId> sorted, NodeId v) {
+  return ContainsSortedScalar(sorted, v);
+}
+
+#endif  // SMR_X86_DISPATCH
+
+}  // namespace intersect_detail
+
+// -------------------------------------------------------------- dispatch
+
+namespace {
+
+bool CpuSupports(SimdLevel level) {
+#if SMR_X86_DISPATCH
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSse42:
+      return __builtin_cpu_supports("sse4.2") != 0;
+    case SimdLevel::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return level == SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel SelectLevel() {
+  const char* force = std::getenv("SMR_FORCE_SCALAR");
+  if (force != nullptr && force[0] == '1') return SimdLevel::kScalar;
+  if (CpuSupports(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  if (CpuSupports(SimdLevel::kSse42)) return SimdLevel::kSse42;
+  return SimdLevel::kScalar;
+}
+
+struct Kernels {
+  size_t (*count)(std::span<const NodeId>, std::span<const NodeId>);
+  size_t (*into)(std::span<const NodeId>, std::span<const NodeId>, NodeId*);
+  bool (*contains)(std::span<const NodeId>, NodeId);
+  SimdLevel level;
+};
+
+Kernels SelectKernels() {
+  using namespace intersect_detail;
+  switch (SelectLevel()) {
+    case SimdLevel::kAvx2:
+      return {IntersectCountAvx2, IntersectIntoAvx2, ContainsSortedAvx2,
+              SimdLevel::kAvx2};
+    case SimdLevel::kSse42:
+      return {IntersectCountSse42, IntersectIntoSse42, ContainsSortedSse42,
+              SimdLevel::kSse42};
+    case SimdLevel::kScalar:
+      break;
+  }
+  return {IntersectCountScalar, IntersectIntoScalar, ContainsSortedScalar,
+          SimdLevel::kScalar};
+}
+
+/// Resolved once, before main (or on first use from a static initializer) —
+/// every call after that is one indirect jump, no branching on the level.
+const Kernels& ActiveKernels() {
+  static const Kernels kernels = SelectKernels();
+  return kernels;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() { return ActiveKernels().level; }
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse4.2";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool SimdLevelSupported(SimdLevel level) { return CpuSupports(level); }
+
+size_t IntersectCount(std::span<const NodeId> a, std::span<const NodeId> b) {
+  return ActiveKernels().count(a, b);
+}
+
+size_t IntersectInto(std::span<const NodeId> a, std::span<const NodeId> b,
+                     NodeId* out) {
+  return ActiveKernels().into(a, b, out);
+}
+
+bool ContainsSorted(std::span<const NodeId> sorted, NodeId v) {
+  return ActiveKernels().contains(sorted, v);
+}
+
+}  // namespace smr

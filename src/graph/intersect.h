@@ -1,0 +1,86 @@
+#ifndef SMR_GRAPH_INTERSECT_H_
+#define SMR_GRAPH_INTERSECT_H_
+
+#include <cstddef>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace smr {
+
+/// Vectorized sorted-set primitives over NodeId spans — the layer every hot
+/// path of the library bottoms out in: Graph::HasEdge membership probes, the
+/// triangle kernel's successor-list intersections, the matcher's candidate
+/// filtering, and the reducer-local kernels of every map-reduce strategy.
+///
+/// All inputs must be sorted ascending with no duplicates (the invariant of
+/// every adjacency list in the library). All three entry points produce
+/// results that are independent of the instruction set the dispatcher
+/// picked: the SIMD paths are exact drop-ins for the scalar ones, which is
+/// what keeps enumeration output byte-identical between a scalar-forced and
+/// an AVX2 build.
+///
+/// Dispatch happens once, at first use: the highest level the CPU supports
+/// is chosen (AVX2 > SSE4.2 > scalar), unless the environment variable
+/// SMR_FORCE_SCALAR=1 pins the scalar path (CI runs the whole suite both
+/// ways).
+
+/// Instruction-set level of the intersection kernels.
+enum class SimdLevel { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// The level the dispatcher selected at startup.
+SimdLevel ActiveSimdLevel();
+
+/// Human-readable name ("scalar", "sse4.2", "avx2") — printed by the bench
+/// banners and smr_cli so a measurement records which path it measured.
+const char* SimdLevelName(SimdLevel level);
+
+/// True if this CPU can execute the given level's kernels (independent of
+/// what the dispatcher selected; the differential tests use it to run every
+/// supported variant side by side).
+bool SimdLevelSupported(SimdLevel level);
+
+/// SIMD kernels store whole vector blocks: the output buffer passed to
+/// IntersectInto must have room for min(a.size(), b.size()) result slots
+/// plus this much slack (the final partially-filled block's dead lanes).
+constexpr size_t kIntersectSlack = 8;
+
+/// |a ∩ b|.
+size_t IntersectCount(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// Writes a ∩ b (ascending) to `out` — which must have room for
+/// min(a.size(), b.size()) + kIntersectSlack elements — and returns the
+/// count.
+size_t IntersectInto(std::span<const NodeId> a, std::span<const NodeId> b,
+                     NodeId* out);
+
+/// True iff `v` is in the sorted span.
+bool ContainsSorted(std::span<const NodeId> sorted, NodeId v);
+
+/// Per-level entry points, exposed for the differential fuzz tests. Calling
+/// an Sse42/Avx2 variant on a CPU without that ISA is undefined; guard with
+/// SimdLevelSupported.
+namespace intersect_detail {
+
+size_t IntersectCountScalar(std::span<const NodeId> a,
+                            std::span<const NodeId> b);
+size_t IntersectIntoScalar(std::span<const NodeId> a, std::span<const NodeId> b,
+                           NodeId* out);
+bool ContainsSortedScalar(std::span<const NodeId> sorted, NodeId v);
+
+size_t IntersectCountSse42(std::span<const NodeId> a,
+                           std::span<const NodeId> b);
+size_t IntersectIntoSse42(std::span<const NodeId> a, std::span<const NodeId> b,
+                          NodeId* out);
+bool ContainsSortedSse42(std::span<const NodeId> sorted, NodeId v);
+
+size_t IntersectCountAvx2(std::span<const NodeId> a, std::span<const NodeId> b);
+size_t IntersectIntoAvx2(std::span<const NodeId> a, std::span<const NodeId> b,
+                         NodeId* out);
+bool ContainsSortedAvx2(std::span<const NodeId> sorted, NodeId v);
+
+}  // namespace intersect_detail
+
+}  // namespace smr
+
+#endif  // SMR_GRAPH_INTERSECT_H_

@@ -16,10 +16,32 @@ InstanceKey MakeInstanceKey(std::span<const std::pair<int, int>> pattern_edges,
   return key;
 }
 
+void BufferingSink::Grow(size_t min_nodes) {
+  constexpr size_t kFirstChunkNodes = 1024;
+  size_t nodes = std::max(chunk_capacity_ * 2, kFirstChunkNodes);
+  while (nodes < min_nodes) nodes *= 2;
+  chunk_capacity_ = nodes;
+  NodeId* data = arena_.AllocateArray<NodeId>(nodes);
+  chunks_.push_back(NodeChunk{data, 0});
+  chunk_cursor_ = data;
+  chunk_left_ = nodes;
+}
+
 void BufferingSink::FlushTo(InstanceSink* sink) const {
+  size_t chunk = 0;
   size_t offset = 0;
   for (const uint32_t size : sizes_) {
-    sink->Emit(std::span<const NodeId>(nodes_.data() + offset, size));
+    if (size == 0) {
+      sink->Emit(std::span<const NodeId>());
+      continue;
+    }
+    // Records never span chunks: Emit opens a fresh chunk when one does not
+    // fit, so a chunk's tail slack means "advance".
+    while (offset + size > chunks_[chunk].used) {
+      ++chunk;
+      offset = 0;
+    }
+    sink->Emit(std::span<const NodeId>(chunks_[chunk].data + offset, size));
     offset += size;
   }
 }

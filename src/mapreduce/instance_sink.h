@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/arena.h"
 
 namespace smr {
 
@@ -63,8 +64,17 @@ class CountingSink : public InstanceSink {
 class BufferingSink : public InstanceSink {
  public:
   void Emit(std::span<const NodeId> assignment) override {
-    nodes_.insert(nodes_.end(), assignment.begin(), assignment.end());
-    sizes_.push_back(static_cast<uint32_t>(assignment.size()));
+    const size_t n = assignment.size();
+    if (n == 0) {  // nothing to store; keep the framing stream consistent
+      sizes_.push_back(0);
+      return;
+    }
+    if (chunk_left_ < n) Grow(n);
+    std::copy(assignment.begin(), assignment.end(), chunk_cursor_);
+    chunk_cursor_ += n;
+    chunk_left_ -= n;
+    chunks_.back().used += n;
+    sizes_.push_back(static_cast<uint32_t>(n));
   }
 
   uint64_t count() const { return sizes_.size(); }
@@ -73,7 +83,24 @@ class BufferingSink : public InstanceSink {
   void FlushTo(InstanceSink* sink) const;
 
  private:
-  std::vector<NodeId> nodes_;
+  // Node payload lives in arena chunks that never move once written (a
+  // growing flat vector would memcpy the entire backlog on every doubling;
+  // per-worker arenas also keep workers off the shared heap). A record never
+  // spans chunks; `used` counts the nodes actually written to a chunk, so
+  // FlushTo can walk the chunks in order. The small per-record size stream
+  // stays a plain vector.
+  struct NodeChunk {
+    NodeId* data;
+    size_t used;
+  };
+
+  void Grow(size_t min_nodes);
+
+  Arena arena_;
+  std::vector<NodeChunk> chunks_;
+  NodeId* chunk_cursor_ = nullptr;
+  size_t chunk_left_ = 0;
+  size_t chunk_capacity_ = 0;
   std::vector<uint32_t> sizes_;
 };
 

@@ -17,22 +17,23 @@ struct Stitcher {
   const std::vector<NodeId>* cycle_prefix;  // v1, v2
   NodeId vlast;
   const std::function<void(const std::vector<NodeId>&)>* visit;
-  CostCounter* cost;
+  CostCounter* cost;  // never null (caller substitutes a dummy)
   uint64_t found = 0;
 
   std::vector<Edge> middle;
   std::vector<bool> used;
-  std::vector<NodeId> path;  // nodes after v2, in cycle order
+  std::vector<NodeId> path;   // nodes after v2, in cycle order
+  std::vector<NodeId> cycle;  // assembly buffer, reused across emissions
 
   void Extend(NodeId attach_point) {
     if (path.size() == 2 * middle.size()) {
-      if (cost != nullptr) ++cost->index_probes;
+      ++cost->index_probes;
       if (graph->HasEdge(attach_point, vlast)) {
-        std::vector<NodeId> cycle = *cycle_prefix;
+        cycle.assign(cycle_prefix->begin(), cycle_prefix->end());
         cycle.insert(cycle.end(), path.begin(), path.end());
         cycle.push_back(vlast);
         ++found;
-        if (cost != nullptr) ++cost->outputs;
+        ++cost->outputs;
         if (*visit) (*visit)(cycle);
       }
       return;
@@ -43,10 +44,8 @@ struct Stitcher {
       for (int orientation = 0; orientation < 2; ++orientation) {
         const NodeId enter = orientation == 0 ? x : y;
         const NodeId exit = orientation == 0 ? y : x;
-        if (cost != nullptr) {
-          ++cost->candidates;
-          ++cost->index_probes;
-        }
+        ++cost->candidates;
+        ++cost->index_probes;
         if (!graph->HasEdge(attach_point, enter)) continue;
         used[i] = true;
         path.push_back(enter);
@@ -75,7 +74,7 @@ void ChooseMiddleEdges(const Graph& graph, const NodeOrder& order, NodeId v1,
   const auto& edges = graph.edges();
   for (size_t i = first_index; i < edges.size(); ++i) {
     const auto [x, y] = edges[i];
-    if (cost != nullptr) ++cost->edges_scanned;
+    ++cost->edges_scanned;  // callers substitute a dummy for null
     if (x == v1 || x == v2 || x == vlast || y == v1 || y == v2 || y == vlast) {
       continue;
     }
@@ -98,6 +97,8 @@ uint64_t EnumerateOddCycles(
     CostCounter* cost) {
   if (k < 1) return 0;
   uint64_t total = 0;
+  CostCounter dummy;
+  CostCounter* const c = cost != nullptr ? cost : &dummy;
   std::vector<bool> node_used(graph.num_nodes(), false);
   // First loop: properly ordered 2-paths vlast - v1 - v2 with v2 < vlast.
   EnumerateProperlyOrderedTwoPaths(
@@ -106,10 +107,10 @@ uint64_t EnumerateOddCycles(
         // EnumerateProperlyOrderedTwoPaths reports endpoints with
         // endpoint1 < endpoint2, so v2 < vlast holds already.
         if (k == 1) {
-          if (cost != nullptr) ++cost->index_probes;
+          ++c->index_probes;
           if (graph.HasEdge(v2, vlast)) {
             ++total;
-            if (cost != nullptr) ++cost->outputs;
+            ++c->outputs;
             if (visit) visit({v1, v2, vlast});
           }
           return;
@@ -121,10 +122,10 @@ uint64_t EnumerateOddCycles(
         stitcher.cycle_prefix = &prefix;
         stitcher.vlast = vlast;
         stitcher.visit = &visit;
-        stitcher.cost = cost;
+        stitcher.cost = c;
         ChooseMiddleEdges(
             graph, order, v1, v2, vlast, static_cast<size_t>(k - 1), 0,
-            &chosen, &node_used, cost, [&] {
+            &chosen, &node_used, c, [&] {
               stitcher.middle = chosen;
               stitcher.used.assign(chosen.size(), false);
               stitcher.path.clear();
@@ -178,6 +179,8 @@ uint64_t EnumerateHamiltonianOddPattern(const SampleGraph& pattern,
   const auto& automorphisms = pattern.Automorphisms();
 
   uint64_t found = 0;
+  CostCounter dummy;
+  CostCounter* const c = cost != nullptr ? cost : &dummy;
   auto handle_cycle = [&](const std::vector<NodeId>& cycle) {
     // Try all 2p ways to wrap the pattern's Hamilton cycle around the found
     // data cycle; check the chords; dedup by canonical embedding.
@@ -188,12 +191,12 @@ uint64_t EnumerateHamiltonianOddPattern(const SampleGraph& pattern,
           const int pos = ((start + direction * i) % p + p) % p;
           assignment[ham[i]] = cycle[pos];
         }
-        if (cost != nullptr) ++cost->candidates;
+        ++c->candidates;
         // All pattern edges (cycle edges hold by construction; chords need
         // checking) must exist.
         bool ok = true;
         for (const auto& [a, b] : pattern.edges()) {
-          if (cost != nullptr) ++cost->index_probes;
+          ++c->index_probes;
           if (!graph.HasEdge(assignment[a], assignment[b])) {
             ok = false;
             break;
@@ -216,7 +219,7 @@ uint64_t EnumerateHamiltonianOddPattern(const SampleGraph& pattern,
         }
         if (!canonical) continue;
         ++found;
-        if (cost != nullptr) ++cost->outputs;
+        ++c->outputs;
         if (sink != nullptr) sink->Emit(assignment);
       }
     }

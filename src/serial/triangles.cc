@@ -2,33 +2,54 @@
 
 #include <array>
 
+#include "graph/intersect.h"
+#include "util/arena.h"
+
 namespace smr {
 
 uint64_t EnumerateTriangles(const Graph& graph, const NodeOrder& order,
                             InstanceSink* sink, CostCounter* cost) {
-  const OrientedAdjacency oriented(graph, order);
+  const RankedAdjacency ranked(graph, order);
+  Arena arena;
+  NodeId* const matches =
+      arena.AllocateArray<NodeId>(ranked.MaxOutDegree() + kIntersectSlack);
   uint64_t found = 0;
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    const auto successors = oriented.Successors(u);
-    if (cost != nullptr) cost->edges_scanned += successors.size();
-    for (size_t i = 0; i < successors.size(); ++i) {
-      for (size_t j = i + 1; j < successors.size(); ++j) {
-        if (cost != nullptr) {
-          ++cost->candidates;
-          ++cost->index_probes;
-        }
-        if (graph.HasEdge(successors[i], successors[j])) {
-          ++found;
-          if (cost != nullptr) ++cost->outputs;
-          if (sink != nullptr) {
-            // Successors are sorted by rank, so (u, s_i, s_j) is the
-            // order-sorted triangle.
-            const std::array<NodeId, 3> assignment = {u, successors[i],
-                                                      successors[j]};
-            sink->Emit(assignment);
-          }
+  const NodeId n = graph.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto succ = ranked.SuccessorRanks(order.Rank(u));
+    const size_t deg = succ.size();
+    if (cost != nullptr) cost->edges_scanned += deg;
+    if (deg < 2) continue;
+    uint64_t matched = 0;
+    for (size_t i = 0; i + 1 < deg; ++i) {
+      // All closing edges of the wedges (u, s_i, s_j), j > i, in one
+      // intersection: since i < j means s_i precedes s_j in the order,
+      // (s_i, s_j) is an edge iff rank(s_j) appears among s_i's successor
+      // ranks. Both spans ascend, so the matches come out in ascending j —
+      // the same order the per-pair probe loop visited them in.
+      const size_t count = IntersectInto(
+          succ.subspan(i + 1), ranked.SuccessorRanks(succ[i]), matches);
+      matched += count;
+      if (sink != nullptr) {
+        const NodeId v = ranked.NodeOfRank(succ[i]);
+        for (size_t k = 0; k < count; ++k) {
+          // Successors are sorted by rank, so (u, v, w) is the order-sorted
+          // triangle.
+          const std::array<NodeId, 3> assignment = {u, v,
+                                                    ranked.NodeOfRank(matches[k])};
+          sink->Emit(assignment);
         }
       }
+    }
+    found += matched;
+    if (cost != nullptr) {
+      // Identical totals to the per-pair probe loop this replaces: each of
+      // the deg*(deg-1)/2 successor pairs was one candidate and one index
+      // probe, and every match was an output.
+      const uint64_t pairs = static_cast<uint64_t>(deg) * (deg - 1) / 2;
+      cost->candidates += pairs;
+      cost->index_probes += pairs;
+      cost->outputs += matched;
     }
   }
   return found;

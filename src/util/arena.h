@@ -1,0 +1,116 @@
+#ifndef SMR_UTIL_ARENA_H_
+#define SMR_UTIL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace smr {
+
+/// Bump allocator for the serial kernels' and record channel's inner loops:
+/// allocation is a pointer increment into a chunk, deallocation only happens
+/// wholesale (Reset or destruction). The kernels allocate short-lived scratch
+/// (intersection outputs, candidate lists, cycle assemblies) millions of
+/// times per enumeration; routing those through the general-purpose heap
+/// costs a lock-free fast path at best and a page fault at worst, and
+/// scatters hot scratch across the address space. An arena keeps the scratch
+/// on the same few cache lines and makes "free everything this worker
+/// produced" a constant-time operation.
+///
+/// Chunks grow geometrically (doubling, capped) so a kernel that needs more
+/// than the initial chunk pays O(log total) mallocs over its whole run.
+/// Reset() retains the chunks and rewinds the cursor: a reducer-local kernel
+/// invoked once per reducer reuses the same memory for every reducer.
+///
+/// Not thread-safe — the engine gives each worker its own arena, which is
+/// the point: no shared-heap contention between workers.
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = size_t{64} * 1024;
+  static constexpr size_t kMaxChunkBytes = size_t{8} * 1024 * 1024;
+
+  explicit Arena(size_t first_chunk_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  // Movable: chunk storage is held by unique_ptr, so pointers previously
+  // handed out stay valid across a move of the arena itself.
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* Allocate(size_t bytes, size_t align) {
+    uintptr_t cursor = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (cursor + bytes > limit_) {
+      AddChunk(bytes + align);
+      cursor = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    }
+    cursor_ = cursor + bytes;
+    return reinterpret_cast<void*>(cursor);
+  }
+
+  /// Uninitialized storage for `count` objects of trivial type T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destructed");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse.
+  void Reset() {
+    chunk_index_ = 0;
+    if (chunks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      cursor_ = reinterpret_cast<uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].bytes;
+    }
+  }
+
+  /// Total chunk capacity currently held (diagnostics / tests).
+  size_t capacity() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.bytes;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t bytes;
+  };
+
+  void AddChunk(size_t min_bytes) {
+    // Advance into an already-held chunk first (after a Reset).
+    while (chunk_index_ + 1 < chunks_.size()) {
+      const Chunk& chunk = chunks_[++chunk_index_];
+      if (chunk.bytes >= min_bytes) {
+        cursor_ = reinterpret_cast<uintptr_t>(chunk.data.get());
+        limit_ = cursor_ + chunk.bytes;
+        return;
+      }
+    }
+    size_t bytes = next_chunk_bytes_;
+    while (bytes < min_bytes) bytes *= 2;
+    next_chunk_bytes_ = std::min(bytes * 2, kMaxChunkBytes);
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(bytes), bytes});
+    chunk_index_ = chunks_.size() - 1;
+    cursor_ = reinterpret_cast<uintptr_t>(chunks_.back().data.get());
+    limit_ = cursor_ + bytes;
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t chunk_index_ = 0;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t next_chunk_bytes_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_ARENA_H_

@@ -1,0 +1,131 @@
+// Tests for the degeneracy (k-core) node order, core numbers, and the
+// rank-space adjacency the SIMD triangle kernel intersects over.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/node_order.h"
+#include "gtest/gtest.h"
+#include "mapreduce/instance_sink.h"
+#include "serial/triangles.h"
+
+namespace smr {
+namespace {
+
+Graph PathGraph(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph(n, std::move(edges));
+}
+
+Graph Clique(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph(n, std::move(edges));
+}
+
+TEST(Degeneracy, RanksAreAPermutation) {
+  const Graph g = ErdosRenyi(300, 1500, 11);
+  const NodeOrder order = NodeOrder::ByDegeneracy(g);
+  std::vector<uint32_t> seen(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++seen[order.Rank(u)];
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](uint32_t c) { return c == 1; }));
+}
+
+TEST(Degeneracy, CoreNumbersOnKnownGraphs) {
+  // Path: everything is 1-core.
+  EXPECT_EQ(CoreNumbers(PathGraph(6)),
+            (std::vector<uint32_t>{1, 1, 1, 1, 1, 1}));
+  // Star: hub and leaves all peel at degree 1.
+  const Graph star(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  EXPECT_EQ(CoreNumbers(star), (std::vector<uint32_t>{1, 1, 1, 1, 1}));
+  // K5: one 4-core.
+  EXPECT_EQ(CoreNumbers(Clique(5)), (std::vector<uint32_t>{4, 4, 4, 4, 4}));
+  // Triangle with a pendant tail: triangle nodes are 2-core, tail is 1-core.
+  const Graph lollipop(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(CoreNumbers(lollipop), (std::vector<uint32_t>{2, 2, 2, 1, 1}));
+  // Isolated node has core 0.
+  const Graph with_isolated(3, {{0, 1}});
+  EXPECT_EQ(CoreNumbers(with_isolated), (std::vector<uint32_t>{1, 1, 0}));
+}
+
+TEST(Degeneracy, ForwardDegreeBoundedByDegeneracy) {
+  // The defining property of the order: every node has at most
+  // degeneracy(G) successors.
+  const Graph g = ErdosRenyi(400, 3000, 5);
+  const std::vector<uint32_t> core = CoreNumbers(g);
+  const uint32_t degeneracy = *std::max_element(core.begin(), core.end());
+  const NodeOrder order = NodeOrder::ByDegeneracy(g);
+  const OrientedAdjacency oriented(g, order);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_LE(oriented.OutDegree(u), degeneracy);
+  }
+}
+
+TEST(Degeneracy, DeterministicTiesById) {
+  // On a clique every peel step ties; ranks must come out in id order.
+  const NodeOrder order = NodeOrder::ByDegeneracy(Clique(6));
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(order.Rank(u), u);
+}
+
+TEST(Degeneracy, TriangleCountsMatchDegreeOrder) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    const Graph g = ErdosRenyi(500, 4000, seed);
+    const uint64_t by_degree =
+        EnumerateTriangles(g, NodeOrder::ByDegree(g), nullptr, nullptr);
+    const uint64_t by_degeneracy =
+        EnumerateTriangles(g, NodeOrder::ByDegeneracy(g), nullptr, nullptr);
+    EXPECT_EQ(by_degree, by_degeneracy);
+    EXPECT_EQ(by_degree, CountTriangles(g));
+  }
+}
+
+TEST(Degeneracy, TriangleSetsMatchDegreeOrder) {
+  // Same triangles as sets of nodes, not just the same count.
+  const Graph g = ErdosRenyi(200, 1200, 23);
+  auto normalized = [&](const NodeOrder& order) {
+    CollectingSink sink;
+    EnumerateTriangles(g, order, &sink, nullptr);
+    std::vector<std::vector<NodeId>> triangles = sink.assignments();
+    for (auto& t : triangles) std::sort(t.begin(), t.end());
+    std::sort(triangles.begin(), triangles.end());
+    return triangles;
+  };
+  EXPECT_EQ(normalized(NodeOrder::ByDegree(g)),
+            normalized(NodeOrder::ByDegeneracy(g)));
+}
+
+TEST(RankedAdjacency, AgreesWithOrientedAdjacency) {
+  const Graph g = ErdosRenyi(300, 2400, 77);
+  for (const NodeOrder& order :
+       {NodeOrder::ByDegree(g), NodeOrder::ByDegeneracy(g),
+        NodeOrder::Identity(g.num_nodes())}) {
+    const OrientedAdjacency oriented(g, order);
+    const RankedAdjacency ranked(g, order);
+    size_t max_out = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const uint32_t r = order.Rank(u);
+      EXPECT_EQ(ranked.NodeOfRank(r), u);
+      const auto succ_ids = oriented.Successors(u);
+      const auto succ_ranks = ranked.SuccessorRanks(r);
+      ASSERT_EQ(succ_ids.size(), succ_ranks.size());
+      max_out = std::max(max_out, succ_ranks.size());
+      // Same successors; rank-space lists ascend by construction, and
+      // OrientedAdjacency's id-space lists ascend by rank, so the two line
+      // up element-for-element.
+      for (size_t i = 0; i < succ_ids.size(); ++i) {
+        EXPECT_EQ(order.Rank(succ_ids[i]), succ_ranks[i]);
+        if (i > 0) EXPECT_LT(succ_ranks[i - 1], succ_ranks[i]);
+      }
+    }
+    EXPECT_EQ(ranked.MaxOutDegree(), max_out);
+  }
+}
+
+}  // namespace
+}  // namespace smr
