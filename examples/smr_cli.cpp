@@ -33,7 +33,8 @@ namespace {
 constexpr const char kHelp[] = R"(usage:
   smr_cli --pattern <name> --input <spec> [--strategy <spec>] [--seed N]
           [--threads N] [--shuffle S] [--group G] [--combine C]
-          [--budget B] [--backend K] [--stats] [--print N]
+          [--budget B] [--backend K] [--retries R] [--deadline-ms MS]
+          [--on-exhausted E] [--stats] [--print N]
   smr_cli --list-strategies
   smr_cli --list-backends
   smr_cli --help
@@ -77,6 +78,21 @@ constexpr const char kHelp[] = R"(usage:
               shuffle codec-framed pairs over real sockets; the job table
               and metrics are identical, and ShuffleStats additionally
               reports the bytes that crossed the kernel per worker link.
+  --retries   extra attempts per failed process-backend worker (0-100,
+              default 0 = fail fast). A crashed, hung, or corrupted-link
+              worker is re-forked on the same input slice / key chunk and
+              the failed attempt's partial output is discarded, so results
+              are identical to a fault-free run.
+  --deadline-ms
+              per-worker liveness deadline in milliseconds for the process
+              backend (0 = none; default 120000). A worker whose link
+              makes no progress for this long is killed and counted as a
+              failed attempt.
+  --on-exhausted
+              fail (default) | fallback: what the process backend does
+              when a worker runs out of attempts — raise the error, or
+              rerun the round on in-process threads (same results,
+              reported in the fault summary).
   --list-backends
               print every execution backend with its capabilities.
   --seed      bucket-hash seed (default 1)
@@ -95,7 +111,7 @@ examples:
   smr_cli --pattern triangle --input er:2000:40000:1 --strategy census
           --threads 4 --combine off
   smr_cli --pattern triangle --input er:2000:40000:1 --strategy bucket:8
-          --backend process:4
+          --backend process:4 --retries 2 --deadline-ms 30000
 )";
 
 [[noreturn]] void Usage(const std::string& message) {
@@ -200,13 +216,17 @@ void ListStrategies() {
 }
 
 void ListBackends() {
-  std::printf("# backend\tspec\tworkers\twire bytes\tnotes\n");
+  std::printf("# backend\tspec\tworkers\twire bytes\tfault tolerance\tnotes\n");
   std::printf(
       "thread\tthread\t--threads N\tmodeled only\t"
+      "none (workers share this process's fate)\t"
       "in-process worker threads; shuffle never serializes a pair "
       "(sort, partitioned, and spill shuffles)\n");
   std::printf(
       "process\tprocess[:N]\tN forked processes\tmeasured per link\t"
+      "--retries / --deadline-ms / --on-exhausted: deterministic "
+      "re-execution of failed workers, liveness deadlines, optional "
+      "thread fallback\t"
       "codec-framed pairs over socketpairs; ShuffleStats reports "
       "map/reduce bytes on the wire; census per-node table unavailable\n");
 }
@@ -247,6 +267,9 @@ int RunCli(int argc, char** argv) {
   std::string combine = "on";
   std::string budget = "0";
   std::string backend = "thread";
+  std::string retries = "0";
+  std::string deadline_ms;
+  std::string on_exhausted = "fail";
   uint64_t seed = 1;
   bool stats = false;
   size_t print_limit = 0;
@@ -286,6 +309,12 @@ int RunCli(int argc, char** argv) {
       budget = next();
     } else if (arg == "--backend") {
       backend = next();
+    } else if (arg == "--retries") {
+      retries = next();
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = next();
+    } else if (arg == "--on-exhausted") {
+      on_exhausted = next();
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--print") {
@@ -309,7 +338,8 @@ int RunCli(int argc, char** argv) {
   }
 
   const smr::ExecutionPolicy policy =
-      smr::PolicyFromSpecs(threads, shuffle, group, combine, budget, backend);
+      smr::PolicyFromSpecs(threads, shuffle, group, combine, budget, backend,
+                           retries, deadline_ms, on_exhausted);
   const smr::StrategySpec spec = smr::ParseStrategySpec(strategy);
   const smr::Strategy& strat =
       smr::StrategyRegistry::Global().Require(spec.name);
@@ -379,6 +409,28 @@ int RunCli(int argc, char** argv) {
   if (!result.job.rounds.empty()) {
     std::printf("job (combine %s):\n%s", policy.combine ? "on" : "off",
                 result.job.RoundTable().c_str());
+    // Fault summary across the job's rounds, printed only when the run
+    // actually recovered from something (fault-free output is unchanged).
+    uint64_t retried = 0, discarded = 0, deadline_kills = 0, fallbacks = 0;
+    for (const smr::JobRoundMetrics& round : result.job.rounds) {
+      retried += round.metrics.shuffle.worker_retries;
+      discarded += round.metrics.shuffle.frames_discarded;
+      deadline_kills += round.metrics.shuffle.deadline_kills;
+      fallbacks += round.metrics.shuffle.thread_fallbacks;
+    }
+    if (retried + discarded + deadline_kills + fallbacks > 0) {
+      std::printf(
+          "faults:  %llu worker retr%s, %llu frame%s discarded, "
+          "%llu deadline kill%s, %llu thread fallback%s\n",
+          static_cast<unsigned long long>(retried),
+          retried == 1 ? "y" : "ies",
+          static_cast<unsigned long long>(discarded),
+          discarded == 1 ? "" : "s",
+          static_cast<unsigned long long>(deadline_kills),
+          deadline_kills == 1 ? "" : "s",
+          static_cast<unsigned long long>(fallbacks),
+          fallbacks == 1 ? "" : "s");
+    }
   }
   if (!result.per_node.empty()) {
     uint64_t max_count = 0;

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -172,6 +174,67 @@ inline DecodeStatus DecodeFrame(const unsigned char* data, size_t size,
   if (kind < static_cast<unsigned char>(FrameKind::kPair) ||
       kind > static_cast<unsigned char>(FrameKind::kError)) {
     return DecodeStatus::kMalformed;
+  }
+  frame->kind = static_cast<FrameKind>(kind);
+  frame->body = data + header + 1;
+  frame->body_bytes = static_cast<size_t>(payload_len) - 1;
+  *consumed = header + static_cast<size_t>(payload_len);
+  return DecodeStatus::kOk;
+}
+
+/// Strict frame decode for corruption-sensitive callers (the process
+/// backend's link drains): structurally impossible bytes THROW a
+/// descriptive std::runtime_error instead of returning kMalformed, and a
+/// window known to be complete (`closed` — the peer's stream has ended)
+/// turns what would be kNeedMore into a throw too. That closes the
+/// silent-starvation hole the lenient DecodeFrame leaves open: a corrupted
+/// length prefix can otherwise read as "wait for more bytes" forever.
+/// `max_frame_bytes` tightens the global kMaxFrameBytes cap to the largest
+/// frame legal on the caller's link, so a flipped length bit is rejected
+/// as impossible rather than buffered. Returns kOk (frame filled) or
+/// kNeedMore (only when !closed); never kMalformed.
+inline DecodeStatus DecodeFrameChecked(const unsigned char* data, size_t size,
+                                       bool closed, uint64_t max_frame_bytes,
+                                       FrameView* frame, size_t* consumed) {
+  uint64_t payload_len = 0;
+  size_t header = 0;
+  const DecodeStatus varint = GetVarint(data, size, &payload_len, &header);
+  if (varint == DecodeStatus::kMalformed) {
+    throw std::runtime_error(
+        "frame length prefix is not a valid varint (corrupted stream)");
+  }
+  if (varint == DecodeStatus::kNeedMore) {
+    if (closed) {
+      throw std::runtime_error("stream ended inside a frame length prefix (" +
+                               std::to_string(size) + " trailing bytes)");
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  if (payload_len == 0) {
+    throw std::runtime_error("frame declares an empty payload (no kind byte)");
+  }
+  if (payload_len > max_frame_bytes || payload_len > kMaxFrameBytes) {
+    throw std::runtime_error(
+        "frame declares an impossible " + std::to_string(payload_len) +
+        "-byte payload (this link's maximum is " +
+        std::to_string(max_frame_bytes < kMaxFrameBytes ? max_frame_bytes
+                                                        : kMaxFrameBytes) +
+        " bytes — corrupted length prefix)");
+  }
+  if (size - header < payload_len) {
+    if (closed) {
+      throw std::runtime_error(
+          "stream ended inside a frame: " + std::to_string(payload_len) +
+          "-byte payload declared, " + std::to_string(size - header) +
+          " bytes remain (truncated or corrupted)");
+    }
+    return DecodeStatus::kNeedMore;
+  }
+  const unsigned char kind = data[header];
+  if (kind < static_cast<unsigned char>(FrameKind::kPair) ||
+      kind > static_cast<unsigned char>(FrameKind::kError)) {
+    throw std::runtime_error("unknown frame kind " + std::to_string(kind) +
+                             " (corrupted stream)");
   }
   frame->kind = static_cast<FrameKind>(kind);
   frame->body = data + header + 1;

@@ -111,18 +111,10 @@ const ShuffleBackend<Input, Value>& SelectShuffleBackend(
       return process;
     }
   }
-  if constexpr (SpillTraits<Value>::kSpillable) {
-    if (policy.shuffle_budget_bytes > 0) {
-      static const SpillShuffleBackend<Input, Value> spill;
-      return spill;
-    }
-  }
-  if (policy.num_threads <= 1 || policy.shuffle == ShuffleMode::kSort) {
-    static const SortShuffleBackend<Input, Value> sort;
-    return sort;
-  }
-  static const PartitionedShuffleBackend<Input, Value> partitioned;
-  return partitioned;
+  // The in-memory tiers (spill/sort/partitioned) live with the spill
+  // backend so the process backend's thread fallback can select them
+  // without a dependency cycle through this header.
+  return SelectInMemoryShuffleBackend<Input, Value>(policy);
 }
 
 /// Runs one declared round. `sink` receives the reducers' final instances

@@ -10,7 +10,39 @@
 
 namespace smr {
 
-class SpillBackend;  // mapreduce/spill.h
+class SpillBackend;    // mapreduce/spill.h
+class FaultInjector;   // mapreduce/fault_injection.h
+
+/// Task-level retry budget for the process backend's fault tolerance
+/// (mapreduce/process_backend.h): a map/reduce worker whose attempt fails
+/// (crash, deadline, corrupt frame, spawn or spill failure) is re-forked
+/// on the same input slice/partition up to max_attempts times total, with
+/// exponential backoff between attempts. Deterministic re-execution plus
+/// the coordinator discarding the failed attempt's partial frames keep
+/// results byte-identical to a fault-free run.
+struct RetryPolicy {
+  /// Total attempts per worker slot (1 = no retries, the default — a
+  /// failure surfaces immediately as a WorkerError).
+  unsigned max_attempts = 1;
+  /// Sleep before retry k (k >= 1) is base_backoff_ms *
+  /// backoff_multiplier^(k-1), capped at 10 s. 0 = retry immediately
+  /// (what tests want; a deployment wants some).
+  unsigned base_backoff_ms = 0;
+  double backoff_multiplier = 2.0;
+};
+
+/// What the process backend does when one worker slot exhausts its
+/// RetryPolicy budget.
+enum class OnExhausted {
+  /// Throw the WorkerError (default).
+  kFail,
+  /// Re-run the whole round on the in-memory backend the policy would
+  /// otherwise select (spill/sort/partitioned) — graceful degradation for
+  /// callers that prefer a slower correct answer over an exception.
+  /// Results are identical by the backends' shared determinism contract;
+  /// ShuffleStats::thread_fallbacks records that it happened.
+  kFallbackThread,
+};
 
 /// How the engine groups mapper emissions by key before the reduce phase.
 /// Both modes are deterministic and produce identical metrics and sink
@@ -114,6 +146,31 @@ struct ExecutionPolicy {
   /// Worker-process count for BackendMode::kProcess; 0 = num_threads.
   unsigned process_workers = 0;
 
+  /// Default per-worker progress deadline (see worker_deadline_ms).
+  static constexpr uint32_t kDefaultWorkerDeadlineMs = 120'000;
+
+  /// Retry budget for failed process-backend workers (ignored by the
+  /// thread backend, whose workers share this process's fate).
+  RetryPolicy retry = {};
+
+  /// Liveness deadline for the process backend's links, in milliseconds:
+  /// a worker whose link makes no progress (no bytes in, no send-buffer
+  /// room out) for this long is SIGKILLed, reaped, and treated as a
+  /// failed attempt — a hung child can wedge a round for at most this
+  /// long, never forever. This is a *progress* deadline, not a total
+  /// runtime cap: any transferred byte resets it. 0 = no deadline
+  /// (blocking reads, the pre-fault-tolerance behavior).
+  uint32_t worker_deadline_ms = kDefaultWorkerDeadlineMs;
+
+  /// What to do when a worker slot exhausts its retry budget.
+  OnExhausted on_exhausted = OnExhausted::kFail;
+
+  /// Deterministic fault-injection hook for the process backend; null =
+  /// none (then $SMR_FAULT_PLAN is consulted — see
+  /// mapreduce/fault_injection.h). Tests inject kill/stall/corrupt/
+  /// spawn/spill faults here.
+  FaultInjector* fault_injector = nullptr;
+
   /// Map-side combining: when a RoundSpec declares an associative
   /// combiner, apply it (per-worker pre-aggregation plus the reduce-side
   /// fold — see engine.h). Turning this off ships every raw emission, for
@@ -185,6 +242,31 @@ struct ExecutionPolicy {
     ExecutionPolicy policy = *this;
     policy.backend = mode;
     policy.process_workers = workers;
+    return policy;
+  }
+
+  ExecutionPolicy WithRetry(RetryPolicy retry_policy) const {
+    ExecutionPolicy policy = *this;
+    policy.retry = retry_policy;
+    if (policy.retry.max_attempts == 0) policy.retry.max_attempts = 1;
+    return policy;
+  }
+
+  ExecutionPolicy WithDeadline(uint32_t deadline_ms) const {
+    ExecutionPolicy policy = *this;
+    policy.worker_deadline_ms = deadline_ms;
+    return policy;
+  }
+
+  ExecutionPolicy WithOnExhausted(OnExhausted mode) const {
+    ExecutionPolicy policy = *this;
+    policy.on_exhausted = mode;
+    return policy;
+  }
+
+  ExecutionPolicy WithFaultInjector(FaultInjector* injector) const {
+    ExecutionPolicy policy = *this;
+    policy.fault_injector = injector;
     return policy;
   }
 

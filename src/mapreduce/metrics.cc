@@ -33,6 +33,14 @@ std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
        << "+bytes:" << m.shuffle.bytes_spilled
        << "+files:" << m.shuffle.spill_files;
   }
+  if (m.shuffle.worker_retries + m.shuffle.frames_discarded +
+          m.shuffle.deadline_kills + m.shuffle.thread_fallbacks >
+      0) {
+    os << " faults=retries:" << m.shuffle.worker_retries
+       << "+discarded:" << m.shuffle.frames_discarded
+       << "+deadline_kills:" << m.shuffle.deadline_kills
+       << "+fallbacks:" << m.shuffle.thread_fallbacks;
+  }
   if (m.shuffle.pool_threads_spawned + m.shuffle.pool_tasks_reused > 0) {
     os << " pool=spawned:" << m.shuffle.pool_threads_spawned
        << "+reused:" << m.shuffle.pool_tasks_reused;

@@ -72,6 +72,22 @@ struct ShuffleStats {
   uint64_t reduce_bytes_on_wire = 0;
   std::vector<uint64_t> link_bytes_on_wire;
 
+  /// Fault-tolerance accounting for the process backend (see
+  /// mapreduce/process_backend.h): worker attempts that failed and were
+  /// re-forked (`worker_retries`), frames decoded from a failed attempt
+  /// and discarded before the deterministic re-execution
+  /// (`frames_discarded`), workers SIGKILLed for missing the policy's
+  /// progress deadline (`deadline_kills`), and rounds re-run on the
+  /// in-memory backend after a worker slot exhausted its retry budget
+  /// (`thread_fallbacks`, under OnExhausted::kFallbackThread). All zero
+  /// on a fault-free run; like every ShuffleStats field these describe
+  /// host scheduling and are excluded from semantic equality — a retried
+  /// round's results are byte-identical to a fault-free run's.
+  uint64_t worker_retries = 0;
+  uint64_t frames_discarded = 0;
+  uint64_t deadline_kills = 0;
+  uint64_t thread_fallbacks = 0;
+
   /// Persistent-pool accounting for this round's parallel phases: threads
   /// the policy's ThreadPool had to create vs worker tasks served by
   /// already-parked threads. A multi-round job under one JobDriver spawns

@@ -20,7 +20,10 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                                 std::string_view group,
                                 std::string_view combine,
                                 std::string_view budget,
-                                std::string_view backend) {
+                                std::string_view backend,
+                                std::string_view retries,
+                                std::string_view deadline_ms,
+                                std::string_view on_exhausted) {
   const auto thread_count = ParseInt64(threads);
   if (!thread_count || *thread_count < 0 ||
       *thread_count > 1 << 20) {
@@ -93,6 +96,33 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
     PolicyError("backend must be thread or process[:N], got '" +
                 std::string(backend) + "'");
   }
+
+  const auto retry_count = ParseInt64(retries);
+  if (!retry_count || *retry_count < 0 || *retry_count > 100) {
+    PolicyError("retries needs an integer in [0, 100], got '" +
+                std::string(retries) + "'");
+  }
+  if (*retry_count > 0) {
+    policy = policy.WithRetry(
+        RetryPolicy{static_cast<unsigned>(1 + *retry_count), 0, 2.0});
+  }
+
+  if (!deadline_ms.empty()) {
+    const auto deadline = ParseInt64(deadline_ms);
+    if (!deadline || *deadline < 0 || *deadline > 86'400'000) {
+      PolicyError("deadline needs milliseconds in [0, 86400000] "
+                  "(0 = no deadline), got '" + std::string(deadline_ms) +
+                  "'");
+    }
+    policy = policy.WithDeadline(static_cast<uint32_t>(*deadline));
+  }
+
+  if (on_exhausted == "fallback") {
+    policy = policy.WithOnExhausted(OnExhausted::kFallbackThread);
+  } else if (on_exhausted != "fail") {
+    PolicyError("on_exhausted must be fail or fallback, got '" +
+                std::string(on_exhausted) + "'");
+  }
   return policy;
 }
 
@@ -127,6 +157,23 @@ std::string DescribePolicy(const ExecutionPolicy& policy) {
        << (policy.process_workers > 0 ? policy.process_workers
                                       : policy.num_threads)
        << " workers)";
+    // Fault-tolerance knobs are printed only when they differ from the
+    // defaults, so fault-free invocations read exactly as before.
+    if (policy.retry.max_attempts > 1) {
+      os << ", " << (policy.retry.max_attempts - 1) << " retr"
+         << (policy.retry.max_attempts == 2 ? "y" : "ies");
+    }
+    if (policy.worker_deadline_ms !=
+        ExecutionPolicy::kDefaultWorkerDeadlineMs) {
+      if (policy.worker_deadline_ms == 0) {
+        os << ", no deadline";
+      } else {
+        os << ", deadline " << policy.worker_deadline_ms << " ms";
+      }
+    }
+    if (policy.on_exhausted == OnExhausted::kFallbackThread) {
+      os << ", fall back to threads";
+    }
   }
   return os.str();
 }

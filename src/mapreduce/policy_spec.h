@@ -23,6 +23,13 @@ namespace smr {
 ///   backend  "thread"          in-process worker threads (the default)
 ///            "process[:N]"     N forked worker processes shuffling over
 ///                              real sockets (default N = threads)
+///   retries  "R"               0 <= R <= 100 extra attempts per failed
+///                              process-backend worker (0 = fail fast)
+///   deadline "MS"              per-worker liveness deadline in
+///            ""                milliseconds (0 = none); "" keeps the
+///                              policy default
+///   on_exhausted "fail"        throw WorkerError when retries run out
+///            "fallback"        rerun the round on the thread backend
 ///
 /// Every spec changes only host scheduling, never results.
 ExecutionPolicy PolicyFromSpecs(std::string_view threads,
@@ -30,7 +37,10 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
                                 std::string_view group,
                                 std::string_view combine,
                                 std::string_view budget = "0",
-                                std::string_view backend = "thread");
+                                std::string_view backend = "thread",
+                                std::string_view retries = "0",
+                                std::string_view deadline_ms = "",
+                                std::string_view on_exhausted = "fail");
 
 /// One-line human-readable summary ("4 threads, partitioned shuffle
 /// (16 partitions, auto grouping), combine on").

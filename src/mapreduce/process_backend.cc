@@ -1,6 +1,7 @@
 #include "mapreduce/process_backend.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/types.h>
@@ -31,48 +32,114 @@ std::string Describe(const char* role, size_t index, pid_t pid, int status) {
   return message;
 }
 
+/// Waits for readiness; true = ready, false = the deadline passed.
+/// timeout_ms < 0 never polls (the subsequent send/recv blocks).
+bool AwaitReady(int fd, short events, int timeout_ms) {
+  if (timeout_ms < 0) return true;
+  while (true) {
+    struct pollfd entry;
+    entry.fd = fd;
+    entry.events = events;
+    entry.revents = 0;
+    const int rc = poll(&entry, 1, timeout_ms);
+    if (rc > 0) return true;  // readable/writable — or HUP/ERR, which the
+                              // following send/recv surfaces precisely
+    if (rc == 0) return false;
+    if (errno != EINTR) {
+      throw std::runtime_error(std::string("process backend: poll failed: ") +
+                               std::strerror(errno));
+    }
+  }
+}
+
 }  // namespace
 
-bool SendAll(int fd, const unsigned char* data, size_t size) {
+IoStatus SendAll(int fd, const unsigned char* data, size_t size,
+                 int timeout_ms) {
   size_t sent = 0;
   while (sent < size) {
-    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE — the
-    // coordinator turns it into a runtime_error naming the worker.
-    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    // The deadline is a *progress* deadline: every poll waits the full
+    // timeout again, so only a link with no send-buffer room for
+    // timeout_ms straight (a peer that stopped reading) times out.
+    if (!AwaitReady(fd, POLLOUT, timeout_ms)) return IoStatus::kTimeout;
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    // MSG_DONTWAIT under a deadline: the poll above is the only wait.
+    const ssize_t n = send(fd, data + sent, size - sent,
+                           MSG_NOSIGNAL | (timeout_ms >= 0 ? MSG_DONTWAIT : 0));
     if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EPIPE || errno == ECONNRESET) return false;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kPeerGone;
       throw std::runtime_error(std::string("process backend: send failed: ") +
                                std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-size_t RecvSome(int fd, unsigned char* out, size_t capacity) {
+IoStatus RecvSome(int fd, unsigned char* out, size_t capacity, int timeout_ms,
+                  size_t* received) {
+  *received = 0;
   while (true) {
-    const ssize_t n = recv(fd, out, capacity, 0);
-    if (n >= 0) return static_cast<size_t>(n);
-    if (errno == EINTR) continue;
-    // A peer that died mid-stream reads as EOF; the caller's end-of-stream
-    // bookkeeping decides whether that is a crash.
-    if (errno == ECONNRESET) return 0;
+    if (!AwaitReady(fd, POLLIN, timeout_ms)) return IoStatus::kTimeout;
+    const ssize_t n =
+        recv(fd, out, capacity, timeout_ms >= 0 ? MSG_DONTWAIT : 0);
+    if (n >= 0) {  // n == 0 is end of stream; the caller's end-of-stream
+                   // bookkeeping decides whether that is a crash
+      *received = static_cast<size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    if (errno == ECONNRESET) return IoStatus::kOk;  // reads as EOF
     throw std::runtime_error(std::string("process backend: recv failed: ") +
                              std::strerror(errno));
   }
 }
 
+bool SendAll(int fd, const unsigned char* data, size_t size) {
+  return SendAll(fd, data, size, /*timeout_ms=*/-1) == IoStatus::kOk;
+}
+
+size_t RecvSome(int fd, unsigned char* out, size_t capacity) {
+  size_t received = 0;
+  RecvSome(fd, out, capacity, /*timeout_ms=*/-1, &received);
+  return received;
+}
+
 void ChildFailAndExit(int fd, const char* what) {
   std::vector<unsigned char> wire;
-  const size_t length = std::strlen(what);
+  // Truncate pathological messages so the error frame always fits under
+  // the coordinator's per-link frame limit.
+  const size_t length = std::min<size_t>(std::strlen(what), 2048);
   AppendFrame(FrameKind::kError,
               reinterpret_cast<const unsigned char*>(what), length, &wire);
   SendAll(fd, wire.data(), wire.size());  // best effort: parent may be gone
   _exit(1);
 }
 
-WorkerCrew::WorkerCrew(const char* role) : role_(role) {}
+void ChildFaultAndHang(FaultKind kind) {
+  if (kind == FaultKind::kStallLink) {
+    // Keep the link open but silent: only the coordinator's progress
+    // deadline can clear this worker.
+    while (true) pause();
+  }
+  raise(SIGKILL);
+  _exit(137);  // unreachable; keeps [[noreturn]] honest if SIGKILL races
+}
+
+void CorruptFrameKindByte(std::vector<unsigned char>* wire,
+                          size_t frame_start) {
+  // Skip the length varint's continuation bytes; the kind byte follows
+  // the final varint byte. 0xee is no FrameKind, so the receiver's strict
+  // decode must reject the stream — deterministically.
+  size_t i = frame_start;
+  while (i < wire->size() && ((*wire)[i] & 0x80) != 0) ++i;
+  const size_t kind_at = i + 1;
+  if (kind_at < wire->size()) (*wire)[kind_at] = 0xee;
+}
+
+WorkerCrew::WorkerCrew(const char* role, size_t count)
+    : role_(role), workers_(count) {}
 
 WorkerCrew::~WorkerCrew() {
   // Unwinding with live children (a throw anywhere in the round): kill and
@@ -88,7 +155,7 @@ WorkerCrew::~WorkerCrew() {
   }
 }
 
-void WorkerCrew::Spawn(const std::function<void(int)>& body) {
+void WorkerCrew::Spawn(size_t index, const std::function<void(int)>& body) {
   int sockets[2];
   if (socketpair(AF_UNIX, SOCK_STREAM, 0, sockets) != 0) {
     throw std::runtime_error(
@@ -121,16 +188,19 @@ void WorkerCrew::Spawn(const std::function<void(int)>& body) {
     _exit(0);
   }
   close(sockets[1]);
-  workers_.push_back(Worker{pid, sockets[0]});
+  workers_[index] = Worker{pid, sockets[0]};
 }
 
-void WorkerCrew::Reap(size_t index) {
+bool WorkerCrew::Reap(size_t index, std::string* how) {
   Worker& worker = workers_[index];
   if (worker.fd >= 0) {
     close(worker.fd);
     worker.fd = -1;
   }
-  if (worker.pid <= 0) return;
+  if (worker.pid <= 0) {
+    how->clear();
+    return true;  // already reaped — nothing new to report
+  }
   int status = 0;
   while (waitpid(worker.pid, &status, 0) < 0) {
     if (errno != EINTR) {
@@ -142,28 +212,24 @@ void WorkerCrew::Reap(size_t index) {
   }
   const pid_t pid = worker.pid;
   worker.pid = -1;
-  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-    throw std::runtime_error("process backend: " +
-                             Describe(role_, index, pid, status));
-  }
+  *how = Describe(role_, index, pid, status);
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
 }
 
-void WorkerCrew::ThrowDead(size_t index) {
+std::string WorkerCrew::KillAndReap(size_t index) {
   Worker& worker = workers_[index];
   if (worker.fd >= 0) {
     close(worker.fd);
     worker.fd = -1;
   }
+  if (worker.pid <= 0) return std::string();
+  kill(worker.pid, SIGKILL);  // a zombie still accepts the no-op kill
   int status = 0;
-  pid_t pid = worker.pid;
-  if (worker.pid > 0) {
-    while (waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    worker.pid = -1;
+  while (waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
   }
-  throw std::runtime_error("process backend: " +
-                           Describe(role_, index, pid, status) +
-                           " before finishing its stream");
+  const pid_t pid = worker.pid;
+  worker.pid = -1;
+  return Describe(role_, index, pid, status);
 }
 
 void FrameBuffer::Append(const unsigned char* data, size_t size) {
@@ -177,8 +243,9 @@ void FrameBuffer::Append(const unsigned char* data, size_t size) {
 
 DecodeStatus FrameBuffer::Next(FrameView* frame) {
   size_t consumed = 0;
-  const DecodeStatus status = DecodeFrame(
-      bytes_.data() + position_, bytes_.size() - position_, frame, &consumed);
+  const DecodeStatus status = DecodeFrameChecked(
+      bytes_.data() + position_, bytes_.size() - position_,
+      /*closed=*/false, frame_limit_, frame, &consumed);
   if (status == DecodeStatus::kOk) position_ += consumed;
   return status;
 }

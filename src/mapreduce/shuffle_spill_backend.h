@@ -191,6 +191,32 @@ class SpillShuffleBackend final : public ShuffleBackend<Input, Value> {
   }
 };
 
+/// The in-memory/spill backend a policy selects when it does not request
+/// the process backend: spill when a budget is set (and the value is
+/// spillable), the reference sort shuffle for single-threaded rounds and
+/// ShuffleMode::kSort, the partitioned shuffle otherwise. Shared by
+/// engine.h's SelectShuffleBackend and by the process backend's
+/// retries-exhausted thread fallback (OnExhausted::kFallbackThread), so
+/// the fallback runs exactly the round the policy would have run without
+/// BackendMode::kProcess. Backends are stateless const singletons; the
+/// reference stays valid for the program's lifetime.
+template <typename Input, typename Value>
+const ShuffleBackend<Input, Value>& SelectInMemoryShuffleBackend(
+    const ExecutionPolicy& policy) {
+  if constexpr (SpillTraits<Value>::kSpillable) {
+    if (policy.shuffle_budget_bytes > 0) {
+      static const SpillShuffleBackend<Input, Value> spill;
+      return spill;
+    }
+  }
+  if (policy.num_threads <= 1 || policy.shuffle == ShuffleMode::kSort) {
+    static const SortShuffleBackend<Input, Value> sort;
+    return sort;
+  }
+  static const PartitionedShuffleBackend<Input, Value> partitioned;
+  return partitioned;
+}
+
 }  // namespace smr
 
 #endif  // SMR_MAPREDUCE_SHUFFLE_SPILL_BACKEND_H_

@@ -1,0 +1,74 @@
+#ifndef SMR_MAPREDUCE_WORKER_ERROR_H_
+#define SMR_MAPREDUCE_WORKER_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace smr {
+
+/// Why a process-backend worker attempt failed — the structured taxonomy
+/// behind every retry decision and every surfaced WorkerError. One enum for
+/// both roles; the role travels separately.
+enum class WorkerErrorKind {
+  kCrash,        ///< The child exited nonzero or died on a signal.
+  kChildError,   ///< The child reported an exception via a kError frame.
+  kDeadline,     ///< The link made no progress within the policy deadline.
+  kCorruptFrame, ///< Undecodable bytes arrived on the link.
+  kSpawnFailure, ///< socketpair/fork for the worker failed.
+  kSpillFailure, ///< The coordinator's spill store failed during the drain.
+};
+
+inline const char* WorkerErrorKindName(WorkerErrorKind kind) {
+  switch (kind) {
+    case WorkerErrorKind::kCrash:
+      return "worker-crash";
+    case WorkerErrorKind::kChildError:
+      return "child-error";
+    case WorkerErrorKind::kDeadline:
+      return "deadline";
+    case WorkerErrorKind::kCorruptFrame:
+      return "corrupt-frame";
+    case WorkerErrorKind::kSpawnFailure:
+      return "spawn-failure";
+    case WorkerErrorKind::kSpillFailure:
+      return "spill-failure";
+  }
+  return "unknown";
+}
+
+/// The process backend's terminal failure: one worker slot kept failing
+/// until its RetryPolicy budget ran out (or the failure was not retryable).
+/// Carries the structured fields tests and callers dispatch on; the what()
+/// string names the worker, the fault kind, and the attempt count.
+class WorkerError : public std::runtime_error {
+ public:
+  WorkerError(WorkerErrorKind kind, std::string role, unsigned worker,
+              unsigned attempts, const std::string& detail)
+      : std::runtime_error(
+            "process backend: " + detail + " (fault: " +
+            WorkerErrorKindName(kind) + "; gave up after " +
+            std::to_string(attempts) +
+            (attempts == 1 ? " attempt)" : " attempts)")),
+        kind_(kind),
+        role_(std::move(role)),
+        worker_(worker),
+        attempts_(attempts),
+        detail_(detail) {}
+
+  WorkerErrorKind kind() const { return kind_; }
+  const std::string& role() const { return role_; }
+  unsigned worker() const { return worker_; }
+  unsigned attempts() const { return attempts_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  WorkerErrorKind kind_;
+  std::string role_;
+  unsigned worker_;
+  unsigned attempts_;
+  std::string detail_;
+};
+
+}  // namespace smr
+
+#endif  // SMR_MAPREDUCE_WORKER_ERROR_H_

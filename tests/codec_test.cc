@@ -241,6 +241,151 @@ TEST(Frame, BlobRoundTripsThroughView) {
   EXPECT_EQ(consumed, wire.size());
 }
 
+// ---------------------------------------------------------------------------
+// DecodeFrameChecked: structural corruption throws, it never starves
+// ---------------------------------------------------------------------------
+
+TEST(CheckedFrame, CleanStreamDecodesLikeTheLenientPath) {
+  Bytes wire;
+  RecordCodec<Edge>::EncodePair(42, {7, 9}, &wire);
+  unsigned char count[kMaxVarintBytes];
+  AppendFrame(FrameKind::kEnd, count, PutVarint(1, count), &wire);
+  size_t offset = 0;
+  int frames = 0;
+  while (offset < wire.size()) {
+    FrameView frame;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrameChecked(wire.data() + offset, wire.size() - offset,
+                                 /*closed=*/true, kMaxFrameBytes, &frame,
+                                 &consumed),
+              DecodeStatus::kOk);
+    offset += consumed;
+    ++frames;
+  }
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(CheckedFrame, OpenWindowTruncationNeedsMoreClosedWindowThrows) {
+  Bytes wire;
+  RecordCodec<Edge>::EncodePair(std::numeric_limits<uint64_t>::max(), {1, 2},
+                                &wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameView frame;
+    size_t consumed = 0;
+    // While the peer may still send, a cut window just waits...
+    EXPECT_EQ(DecodeFrameChecked(wire.data(), cut, /*closed=*/false,
+                                 kMaxFrameBytes, &frame, &consumed),
+              DecodeStatus::kNeedMore)
+        << "cut=" << cut;
+    // ...but once the stream has ended, kNeedMore-forever must throw
+    // instead (cut == 0 is simply an empty, fully-consumed window).
+    if (cut == 0) continue;
+    EXPECT_THROW(DecodeFrameChecked(wire.data(), cut, /*closed=*/true,
+                                    kMaxFrameBytes, &frame, &consumed),
+                 std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(CheckedFrame, ImpossibleLengthNamesTheLinkLimit) {
+  // A length prefix beyond the link's largest legal frame throws right
+  // away with a message naming both numbers, instead of buffering 2^60
+  // bytes that will never come.
+  Bytes wire;
+  AppendVarint(uint64_t{1} << 60, &wire);
+  wire.push_back(static_cast<unsigned char>(FrameKind::kPair));
+  FrameView frame;
+  size_t consumed = 0;
+  try {
+    DecodeFrameChecked(wire.data(), wire.size(), /*closed=*/false, 4096,
+                       &frame, &consumed);
+    FAIL() << "an impossible length must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("impossible"), std::string::npos) << what;
+    EXPECT_NE(what.find("4096"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckedFrame, MalformedVarintEmptyPayloadAndBadKindThrow) {
+  FrameView frame;
+  size_t consumed = 0;
+
+  const Bytes overlong(11, 0x80);  // varint that never terminates
+  EXPECT_THROW(DecodeFrameChecked(overlong.data(), overlong.size(),
+                                  /*closed=*/false, kMaxFrameBytes, &frame,
+                                  &consumed),
+               std::runtime_error);
+
+  Bytes empty_payload;
+  AppendVarint(0, &empty_payload);
+  EXPECT_THROW(DecodeFrameChecked(empty_payload.data(), empty_payload.size(),
+                                  /*closed=*/false, kMaxFrameBytes, &frame,
+                                  &consumed),
+               std::runtime_error);
+
+  Bytes bad_kind;
+  AppendVarint(2, &bad_kind);
+  bad_kind.push_back(0xee);  // no FrameKind has this tag
+  bad_kind.push_back(0x00);
+  EXPECT_THROW(DecodeFrameChecked(bad_kind.data(), bad_kind.size(),
+                                  /*closed=*/false, kMaxFrameBytes, &frame,
+                                  &consumed),
+               std::runtime_error);
+}
+
+// Byte-flip fuzz: every single-byte corruption of a valid multi-frame
+// stream either still decodes (the flip landed in a payload the framing
+// does not interpret) or throws a descriptive error — it must never leave
+// a closed stream waiting for more bytes, and never crash.
+TEST(CheckedFrame, ByteFlipFuzzTerminatesLoudlyOrDecodes) {
+  Bytes wire;
+  Rng rng(20260808);
+  for (int i = 0; i < 20; ++i) {
+    RecordCodec<Edge>::EncodePair(rng.Next() >> (rng.Next() % 64),
+                                  {static_cast<uint32_t>(rng.Next()),
+                                   static_cast<uint32_t>(rng.Next())},
+                                  &wire);
+  }
+  unsigned char end_body[kMaxVarintBytes];
+  AppendFrame(FrameKind::kEnd, end_body, PutVarint(20, end_body), &wire);
+
+  size_t decoded_streams = 0;
+  size_t rejected_streams = 0;
+  for (size_t position = 0; position < wire.size(); ++position) {
+    for (const unsigned char flip :
+         {static_cast<unsigned char>(0x01), static_cast<unsigned char>(0x80),
+          static_cast<unsigned char>(0xff)}) {
+      Bytes corrupted = wire;
+      corrupted[position] ^= flip;
+      size_t offset = 0;
+      try {
+        while (offset < corrupted.size()) {
+          FrameView frame;
+          size_t consumed = 0;
+          const DecodeStatus status = DecodeFrameChecked(
+              corrupted.data() + offset, corrupted.size() - offset,
+              /*closed=*/true, kMaxFrameBytes, &frame, &consumed);
+          // closed=true: kNeedMore is impossible by contract — a window
+          // that cannot complete throws instead.
+          ASSERT_EQ(status, DecodeStatus::kOk)
+              << "position=" << position << " flip=" << int(flip);
+          ASSERT_GT(consumed, 0u);
+          offset += consumed;
+        }
+        ++decoded_streams;
+      } catch (const std::runtime_error& error) {
+        EXPECT_GT(std::string(error.what()).size(), 0u);
+        ++rejected_streams;
+      }
+    }
+  }
+  // Both outcomes must occur: flips in framing bytes reject, flips deep in
+  // pair payloads survive the structural check.
+  EXPECT_GT(decoded_streams, 0u);
+  EXPECT_GT(rejected_streams, 0u);
+}
+
 TEST(ValueCodec, SpillTraitsShareTheValueEncoding) {
   // The spill path serializes values through the same codec (SpillTraits
   // is a view over ValueCodec): identical byte layout, identical

@@ -151,6 +151,10 @@ TEST(Metrics, EveryShuffleStatsFieldIsExcludedFromSemanticEquality) {
   noisy.shuffle.link_bytes_on_wire = {53, 59};
   noisy.shuffle.pool_threads_spawned = 61;
   noisy.shuffle.pool_tasks_reused = 67;
+  noisy.shuffle.worker_retries = 71;
+  noisy.shuffle.frames_discarded = 73;
+  noisy.shuffle.deadline_kills = 79;
+  noisy.shuffle.thread_fallbacks = 83;
   EXPECT_TRUE(noisy == base);
   EXPECT_TRUE(base == noisy);
 
@@ -180,6 +184,14 @@ TEST(Metrics, ToStringMentionsFields) {
   const std::string text = metrics.ToString();
   EXPECT_NE(text.find("kv_pairs=30"), std::string::npos);
   EXPECT_NE(text.find("replication=3"), std::string::npos);
+  // Fault counters print only when something actually went wrong.
+  EXPECT_EQ(text.find("faults="), std::string::npos);
+  metrics.shuffle.worker_retries = 2;
+  metrics.shuffle.deadline_kills = 1;
+  const std::string faulty = metrics.ToString();
+  EXPECT_NE(faulty.find("faults="), std::string::npos);
+  EXPECT_NE(faulty.find("retries:2"), std::string::npos);
+  EXPECT_NE(faulty.find("deadline_kills:1"), std::string::npos);
 }
 
 }  // namespace
