@@ -25,7 +25,9 @@
 #include "graph/io.h"
 #include "graph/statistics.h"
 #include "labeled/labeled_graph.h"
+#include "mapreduce/execution_policy.h"
 #include "mapreduce/policy_spec.h"
+#include "util/enum_registry.h"
 #include "util/parse.h"
 
 namespace {
@@ -216,19 +218,35 @@ void ListStrategies() {
 }
 
 void ListBackends() {
+  // One row per registered BackendMode, in registry order; the name column
+  // comes from the enum registry itself. The description table is sized by
+  // kCount, so registering a new backend without describing its row here
+  // fails to compile instead of silently vanishing from the matrix.
+  struct BackendRow {
+    const char* spec;
+    const char* workers;
+    const char* wire;
+    const char* faults;
+    const char* notes;
+  };
+  static constexpr BackendRow kRows[smr::EnumTraits<smr::BackendMode>::kCount] =
+      {{"thread", "--threads N", "modeled only",
+        "none (workers share this process's fate)",
+        "in-process worker threads; shuffle never serializes a pair "
+        "(sort, partitioned, and spill shuffles)"},
+       {"process[:N]", "N forked processes", "measured per link",
+        "--retries / --deadline-ms / --on-exhausted: deterministic "
+        "re-execution of failed workers, liveness deadlines, optional "
+        "thread fallback",
+        "codec-framed pairs over socketpairs; ShuffleStats reports "
+        "map/reduce bytes on the wire; census per-node table unavailable"}};
   std::printf("# backend\tspec\tworkers\twire bytes\tfault tolerance\tnotes\n");
-  std::printf(
-      "thread\tthread\t--threads N\tmodeled only\t"
-      "none (workers share this process's fate)\t"
-      "in-process worker threads; shuffle never serializes a pair "
-      "(sort, partitioned, and spill shuffles)\n");
-  std::printf(
-      "process\tprocess[:N]\tN forked processes\tmeasured per link\t"
-      "--retries / --deadline-ms / --on-exhausted: deterministic "
-      "re-execution of failed workers, liveness deadlines, optional "
-      "thread fallback\t"
-      "codec-framed pairs over socketpairs; ShuffleStats reports "
-      "map/reduce bytes on the wire; census per-node table unavailable\n");
+  for (size_t i = 0; i < smr::EnumTraits<smr::BackendMode>::kCount; ++i) {
+    const BackendRow& row = kRows[i];
+    std::printf("%s\t%s\t%s\t%s\t%s\t%s\n",
+                smr::EnumTraits<smr::BackendMode>::kNames[i], row.spec,
+                row.workers, row.wire, row.faults, row.notes);
+  }
 }
 
 /// A uniformly-labeled view of an undirected pattern/graph pair: every

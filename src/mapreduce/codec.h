@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/enum_registry.h"
+
 namespace smr {
 
 /// Codec layer: the one serialization vocabulary shared by everything that
@@ -131,15 +133,58 @@ struct ValueCodec<std::pair<A, B>> {
 
 /// First payload byte of every frame: what the rest of the payload means.
 /// One enum for all links so a frame captured anywhere is unambiguous.
-enum class FrameKind : unsigned char {
-  kPair = 1,      ///< [varint key][ValueCodec value] — one shuffled pair.
-  kEnd = 2,       ///< [varint count] — link drained; count = logical pairs.
-  kInstance = 3,  ///< [varint arity][varint node]* — reducer EmitInstance.
-  kRecord = 4,    ///< [varint arity][varint node]* — reducer EmitRecord.
-  kMetrics = 5,   ///< varint-packed reduce-shard MapReduceMetrics counters.
-  kHeader = 6,    ///< [flags byte] — coordinator -> reduce worker options.
-  kError = 7,     ///< [utf-8 message] — child exception text.
-};
+///
+/// Registry (see util/enum_registry.h): the list is the single source for
+/// the enum, kCount, the diagnostic names, and the wire-byte validity
+/// check below — adding a frame kind anywhere else is impossible, and the
+/// contiguity static_assert keeps IsFrameKindByte an exact membership test.
+#define SMR_FRAME_KINDS(X)                                                 \
+  /* [varint key][ValueCodec value] — one shuffled pair. */                \
+  X(kPair, 1, "pair")                                                      \
+  /* [varint count] — link drained; count = logical pairs. */              \
+  X(kEnd, 2, "end")                                                        \
+  /* [varint arity][varint node]* — reducer EmitInstance. */               \
+  X(kInstance, 3, "instance")                                              \
+  /* [varint arity][varint node]* — reducer EmitRecord. */                 \
+  X(kRecord, 4, "record")                                                  \
+  /* varint-packed reduce-shard MapReduceMetrics counters. */              \
+  X(kMetrics, 5, "metrics")                                                \
+  /* [flags byte] — coordinator -> reduce worker options. */               \
+  X(kHeader, 6, "header")                                                  \
+  /* [utf-8 message] — child exception text. */                            \
+  X(kError, 7, "error")
+
+enum class FrameKind : unsigned char { SMR_FRAME_KINDS(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(FrameKind, SMR_FRAME_KINDS);
+
+namespace codec_detail {
+inline constexpr unsigned char kMinFrameKindByte =
+    static_cast<unsigned char>(EnumTraits<FrameKind>::kValues.front());
+inline constexpr unsigned char kMaxFrameKindByte =
+    static_cast<unsigned char>(EnumTraits<FrameKind>::kValues.back());
+// The registry must stay a contiguous ascending range for the decoder's
+// two-comparison validity check to be an exact membership test; a frame
+// kind added with a gap or out of order fails here, at compile time.
+static_assert(kMaxFrameKindByte - kMinFrameKindByte + 1 ==
+                  EnumTraits<FrameKind>::kCount,
+              "SMR_FRAME_KINDS must be a contiguous range of wire bytes");
+static_assert([] {
+  for (std::size_t i = 1; i < EnumTraits<FrameKind>::kCount; ++i) {
+    if (static_cast<unsigned char>(EnumTraits<FrameKind>::kValues[i]) !=
+        static_cast<unsigned char>(EnumTraits<FrameKind>::kValues[i - 1]) + 1) {
+      return false;
+    }
+  }
+  return true;
+}(), "SMR_FRAME_KINDS must be listed in ascending wire-byte order");
+}  // namespace codec_detail
+
+/// True iff `kind` is the wire byte of a registered FrameKind — the
+/// checked cast every frame decode performs before trusting the byte.
+inline constexpr bool IsFrameKindByte(unsigned char kind) {
+  return kind >= codec_detail::kMinFrameKindByte &&
+         kind <= codec_detail::kMaxFrameKindByte;
+}
 
 /// One decoded frame: kind plus a view into the payload *after* the kind
 /// byte. The view aliases the caller's buffer.
@@ -171,10 +216,7 @@ inline DecodeStatus DecodeFrame(const unsigned char* data, size_t size,
   }
   if (size - header < payload_len) return DecodeStatus::kNeedMore;
   const unsigned char kind = data[header];
-  if (kind < static_cast<unsigned char>(FrameKind::kPair) ||
-      kind > static_cast<unsigned char>(FrameKind::kError)) {
-    return DecodeStatus::kMalformed;
-  }
+  if (!IsFrameKindByte(kind)) return DecodeStatus::kMalformed;
   frame->kind = static_cast<FrameKind>(kind);
   frame->body = data + header + 1;
   frame->body_bytes = static_cast<size_t>(payload_len) - 1;
@@ -231,8 +273,7 @@ inline DecodeStatus DecodeFrameChecked(const unsigned char* data, size_t size,
     return DecodeStatus::kNeedMore;
   }
   const unsigned char kind = data[header];
-  if (kind < static_cast<unsigned char>(FrameKind::kPair) ||
-      kind > static_cast<unsigned char>(FrameKind::kError)) {
+  if (!IsFrameKindByte(kind)) {
     throw std::runtime_error("unknown frame kind " + std::to_string(kind) +
                              " (corrupted stream)");
   }

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "mapreduce/thread_pool.h"
+#include "util/enum_registry.h"
 
 namespace smr {
 
@@ -32,66 +33,80 @@ struct RetryPolicy {
 };
 
 /// What the process backend does when one worker slot exhausts its
-/// RetryPolicy budget.
-enum class OnExhausted {
-  /// Throw the WorkerError (default).
-  kFail,
-  /// Re-run the whole round on the in-memory backend the policy would
-  /// otherwise select (spill/sort/partitioned) — graceful degradation for
-  /// callers that prefer a slower correct answer over an exception.
-  /// Results are identical by the backends' shared determinism contract;
-  /// ShuffleStats::thread_fallbacks records that it happened.
-  kFallbackThread,
-};
+/// RetryPolicy budget. Registered names are the policy_spec tokens (see
+/// util/enum_registry.h): the spec parser and DescribePolicy both read the
+/// registry, so a new mode round-trips with zero parser edits.
+#define SMR_ON_EXHAUSTED_MODES(X)                                          \
+  /* Throw the WorkerError (default). */                                   \
+  X(kFail, 0, "fail")                                                      \
+  /* Re-run the whole round on the in-memory backend the policy would      \
+     otherwise select (spill/sort/partitioned) — graceful degradation for  \
+     callers that prefer a slower correct answer over an exception.        \
+     Results are identical by the backends' shared determinism contract;   \
+     ShuffleStats::thread_fallbacks records that it happened. */           \
+  X(kFallbackThread, 1, "fallback")
+
+enum class OnExhausted { SMR_ON_EXHAUSTED_MODES(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(OnExhausted, SMR_ON_EXHAUSTED_MODES);
 
 /// How the engine groups mapper emissions by key before the reduce phase.
 /// Both modes are deterministic and produce identical metrics and sink
 /// emissions; they differ only in host-side wall-clock behavior.
-enum class ShuffleMode {
-  /// Concatenate every worker's emissions into one vector and run a single
-  /// global stable sort — a serial O(C log C) barrier. Kept as the
-  /// reference implementation and for A/B benchmarking.
-  kSort,
-  /// Scatter each map worker's emissions into P per-worker key-range
-  /// buckets; each of the P partitions is then independently concatenated
-  /// in worker order, stable-sorted, and reduced. No global barrier vector
-  /// and no serial sort.
-  kPartitioned,
-};
+/// Registered names are the policy_spec tokens ("partition" optionally
+/// takes a :P suffix, handled by the parser on top of the registry).
+#define SMR_SHUFFLE_MODES(X)                                               \
+  /* Concatenate every worker's emissions into one vector and run a        \
+     single global stable sort — a serial O(C log C) barrier. Kept as the  \
+     reference implementation and for A/B benchmarking. */                 \
+  X(kSort, 0, "sort")                                                      \
+  /* Scatter each map worker's emissions into P per-worker key-range       \
+     buckets; each of the P partitions is then independently concatenated  \
+     in worker order, stable-sorted, and reduced. No global barrier vector \
+     and no serial sort. */                                                \
+  X(kPartitioned, 1, "partition")
+
+enum class ShuffleMode { SMR_SHUFFLE_MODES(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(ShuffleMode, SMR_SHUFFLE_MODES);
 
 /// How the partitioned shuffle groups each partition's pairs by key. Every
 /// mode yields the same grouped order (ascending key, emission order within
 /// a key); they differ only in host-side cost. See mapreduce/group_by_key.h.
-enum class GroupMode {
-  /// stable_sort every partition — the reference grouping (O(n log n)).
-  kSort,
-  /// Counting scatter (histogram over the partition's key range, prefix
-  /// sum, stable scatter — O(n + range)) whenever the range is
-  /// representable; falls back to kSort only when the range is more than
-  /// 64x the pair count or the partition exceeds 2^32 pairs. For
-  /// benchmarking the counting path on workloads known to be dense.
-  kCounting,
-  /// Counting scatter when the partition is dense enough (pairs >=
-  /// range / 4 — strategies keep reducer ranks dense in their declared
-  /// key_space, so their partitions qualify), stable_sort otherwise.
-  kAuto,
-};
+/// Registered names are the policy_spec tokens.
+#define SMR_GROUP_MODES(X)                                                 \
+  /* stable_sort every partition — the reference grouping (O(n log n)). */ \
+  X(kSort, 0, "sort")                                                      \
+  /* Counting scatter (histogram over the partition's key range, prefix    \
+     sum, stable scatter — O(n + range)) whenever the range is             \
+     representable; falls back to kSort only when the range is more than   \
+     64x the pair count or the partition exceeds 2^32 pairs. For           \
+     benchmarking the counting path on workloads known to be dense. */     \
+  X(kCounting, 1, "counting")                                              \
+  /* Counting scatter when the partition is dense enough (pairs >=         \
+     range / 4 — strategies keep reducer ranks dense in their declared     \
+     key_space, so their partitions qualify), stable_sort otherwise. */    \
+  X(kAuto, 2, "auto")
+
+enum class GroupMode { SMR_GROUP_MODES(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(GroupMode, SMR_GROUP_MODES);
 
 /// Where a round's map and reduce workers run. Like every other policy
 /// knob this changes host behavior only — instances, order, and semantic
 /// metrics are identical across backends (the contract pinned by
-/// tests/process_backend_test.cc).
-enum class BackendMode {
-  /// Workers are threads of this process sharing the address space — the
-  /// default, and the only mode whose shuffle never serializes a pair.
-  kThread,
-  /// Map and reduce workers are forked child processes exchanging
-  /// codec-framed pairs with a parent-side coordinator over socketpairs
-  /// (mapreduce/process_backend.h). Every shuffled byte really crosses a
-  /// kernel boundary and is counted in ShuffleStats::*_bytes_on_wire —
-  /// the measured communication cost the paper's model predicts.
-  kProcess,
-};
+/// tests/process_backend_test.cc). Registered names are the policy_spec
+/// tokens ("process" optionally takes a :N suffix, handled by the parser).
+#define SMR_BACKEND_MODES(X)                                               \
+  /* Workers are threads of this process sharing the address space — the   \
+     default, and the only mode whose shuffle never serializes a pair. */  \
+  X(kThread, 0, "thread")                                                  \
+  /* Map and reduce workers are forked child processes exchanging          \
+     codec-framed pairs with a parent-side coordinator over socketpairs    \
+     (mapreduce/process_backend.h). Every shuffled byte really crosses a   \
+     kernel boundary and is counted in ShuffleStats::*_bytes_on_wire —     \
+     the measured communication cost the paper's model predicts. */        \
+  X(kProcess, 1, "process")
+
+enum class BackendMode { SMR_BACKEND_MODES(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(BackendMode, SMR_BACKEND_MODES);
 
 /// How the simulated map-reduce engine schedules its work on the host.
 ///
@@ -232,9 +247,9 @@ struct ExecutionPolicy {
     return policy;
   }
 
-  ExecutionPolicy WithSpillBackend(SpillBackend* backend) const {
+  ExecutionPolicy WithSpillBackend(SpillBackend* spill) const {
     ExecutionPolicy policy = *this;
-    policy.spill_backend = backend;
+    policy.spill_backend = spill;
     return policy;
   }
 

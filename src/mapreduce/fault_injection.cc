@@ -59,19 +59,7 @@ uint64_t RequireCount(std::string_view text, const char* what) {
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kKillAfterFrames:
-      return "kill";
-    case FaultKind::kStallLink:
-      return "stall";
-    case FaultKind::kCorruptFrame:
-      return "corrupt";
-    case FaultKind::kFailSpawn:
-      return "spawnfail";
-    case FaultKind::kFailSpillAppend:
-      return "spillfail";
-  }
-  return "unknown";
+  return EnumTraits<FaultKind>::Name(kind);
 }
 
 FaultPlan ParseFaultPlan(std::string_view text) {
@@ -90,30 +78,21 @@ FaultPlan ParseFaultPlan(std::string_view text) {
                 "' needs role:kind:worker at least");
     }
     FaultSpec spec;
+    // Role and kind tokens parse through the enum registries, so the
+    // grammar — and these error messages — track the enum definitions.
     const std::string_view role = Trim(fields[0]);
-    if (role == "map") {
-      spec.role = WorkerRole::kMap;
-    } else if (role == "reduce") {
-      spec.role = WorkerRole::kReduce;
+    if (const auto parsed_role = EnumTraits<WorkerRole>::FromName(role)) {
+      spec.role = *parsed_role;
     } else {
-      PlanError("role must be map or reduce, got '" + std::string(role) +
-                "'");
+      PlanError("role must be " + EnumNameList<WorkerRole>() + ", got '" +
+                std::string(role) + "'");
     }
     const std::string_view kind = Trim(fields[1]);
-    if (kind == "kill") {
-      spec.kind = FaultKind::kKillAfterFrames;
-    } else if (kind == "stall") {
-      spec.kind = FaultKind::kStallLink;
-    } else if (kind == "corrupt") {
-      spec.kind = FaultKind::kCorruptFrame;
-    } else if (kind == "spawnfail") {
-      spec.kind = FaultKind::kFailSpawn;
-    } else if (kind == "spillfail") {
-      spec.kind = FaultKind::kFailSpillAppend;
+    if (const auto parsed_kind = EnumTraits<FaultKind>::FromName(kind)) {
+      spec.kind = *parsed_kind;
     } else {
-      PlanError(
-          "kind must be kill, stall, corrupt, spawnfail, or spillfail, "
-          "got '" + std::string(kind) + "'");
+      PlanError("kind must be " + EnumNameList<FaultKind>() + ", got '" +
+                std::string(kind) + "'");
     }
     if (spec.kind == FaultKind::kFailSpillAppend &&
         spec.role != WorkerRole::kMap) {

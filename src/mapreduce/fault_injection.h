@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mapreduce/spill.h"
+#include "util/enum_registry.h"
 
 namespace smr {
 
@@ -27,30 +28,41 @@ namespace smr {
 /// ParseFaultPlan for the grammar). The injector is consulted only by the
 /// process backend's single-threaded coordinator; it is not thread-safe.
 
-/// Which side of the round a fault targets.
-enum class WorkerRole { kMap, kReduce };
+/// Which side of the round a fault targets. Registered names are the
+/// SMR_FAULT_PLAN grammar tokens (see util/enum_registry.h).
+#define SMR_WORKER_ROLES(X)                                                \
+  X(kMap, 0, "map")                                                        \
+  X(kReduce, 1, "reduce")
+
+enum class WorkerRole { SMR_WORKER_ROLES(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(WorkerRole, SMR_WORKER_ROLES);
 
 inline const char* WorkerRoleName(WorkerRole role) {
-  return role == WorkerRole::kMap ? "map" : "reduce";
+  return EnumTraits<WorkerRole>::Name(role);
 }
 
-enum class FaultKind {
-  /// The child raises SIGKILL after delivering `after_frames` frames (and
-  /// before its end-of-stream frame) — the classic mid-stream crash.
-  kKillAfterFrames,
-  /// The child stops sending after `after_frames` frames and sleeps
-  /// forever — only a liveness deadline can unwedge the coordinator.
-  kStallLink,
-  /// The child overwrites the kind byte of output frame `after_frames`
-  /// with an invalid value and keeps going — the coordinator must reject
-  /// the stream loudly, never decode around it.
-  kCorruptFrame,
-  /// The coordinator's fork of this worker fails (as if EAGAIN).
-  kFailSpawn,
-  /// Spill-store appends fail while this map worker's link is drained
-  /// (requires a shuffle budget small enough to actually spill).
-  kFailSpillAppend,
-};
+/// What the armed fault does. Registered names are the SMR_FAULT_PLAN
+/// grammar tokens; ParseFaultPlan and FaultKindName both read the
+/// registry, so a new fault kind round-trips with zero parser edits.
+#define SMR_FAULT_KINDS(X)                                                 \
+  /* The child raises SIGKILL after delivering `after_frames` frames (and  \
+     before its end-of-stream frame) — the classic mid-stream crash. */    \
+  X(kKillAfterFrames, 0, "kill")                                           \
+  /* The child stops sending after `after_frames` frames and sleeps        \
+     forever — only a liveness deadline can unwedge the coordinator. */    \
+  X(kStallLink, 1, "stall")                                                \
+  /* The child overwrites the kind byte of output frame `after_frames`     \
+     with an invalid value and keeps going — the coordinator must reject   \
+     the stream loudly, never decode around it. */                         \
+  X(kCorruptFrame, 2, "corrupt")                                           \
+  /* The coordinator's fork of this worker fails (as if EAGAIN). */        \
+  X(kFailSpawn, 3, "spawnfail")                                            \
+  /* Spill-store appends fail while this map worker's link is drained      \
+     (requires a shuffle budget small enough to actually spill). */        \
+  X(kFailSpillAppend, 4, "spillfail")
+
+enum class FaultKind { SMR_FAULT_KINDS(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(FaultKind, SMR_FAULT_KINDS);
 
 const char* FaultKindName(FaultKind kind);
 
@@ -140,7 +152,7 @@ class FaultInjector {
   std::unique_ptr<FaultySpillBackend> spill_wrapper_;
   bool spill_failure_armed_ = false;
   uint64_t fires_ = 0;
-  uint64_t kind_fires_[5] = {0, 0, 0, 0, 0};
+  uint64_t kind_fires_[EnumTraits<FaultKind>::kCount] = {};
 };
 
 /// RAII arm/disarm of spill-append failures around one drain; no-op when

@@ -5,6 +5,32 @@
 
 namespace smr {
 
+namespace {
+
+/// Rendering of one registered field value — overloaded per registered
+/// field type, so registering a field of a new type without teaching the
+/// printer how to show it is a compile error, not a silent omission.
+void PrintValue(std::ostream& os, uint64_t value) { os << value; }
+void PrintValue(std::ostream& os, const CostCounter& value) {
+  os << value.Total();
+}
+void PrintValue(std::ostream& os, const std::vector<uint64_t>& value) {
+  os << '[';
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (i > 0) os << ',';
+    os << value[i];
+  }
+  os << ']';
+}
+
+/// Diagnostic fields are zero-suppressed: a sort-shuffle, fault-free,
+/// in-memory round prints no diagnostics at all. Overloads cover the
+/// types registered as ShuffleStats diagnostics.
+bool IsDefault(uint64_t value) { return value == 0; }
+bool IsDefault(const std::vector<uint64_t>& value) { return value.empty(); }
+
+}  // namespace
+
 std::string MapReduceMetrics::ToString() const {
   std::ostringstream os;
   os << *this;
@@ -12,39 +38,30 @@ std::string MapReduceMetrics::ToString() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const MapReduceMetrics& m) {
-  os << "inputs=" << m.input_records << " kv_pairs=" << m.key_value_pairs
-     << " replication=" << m.ReplicationRate()
-     << " reducers_used=" << m.distinct_keys << " key_space=" << m.key_space
-     << " max_reducer_input=" << m.max_reducer_input
-     << " skew=" << m.SkewRatio() << " reduce_ops=" << m.reduce_cost.Total()
-     << " outputs=" << m.outputs;
-  if (m.shuffle.pairs_shipped != m.key_value_pairs) {
-    os << " shipped=" << m.shuffle.pairs_shipped;
-  }
-  if (m.shuffle.partitions > 0) {
-    os << " shuffle_partitions=" << m.shuffle.partitions
-       << " partition_skew="
-       << m.shuffle.PartitionSkew(m.shuffle.pairs_shipped)
-       << " grouping=counting:" << m.shuffle.counting_partitions
-       << "+sorted:" << m.shuffle.sorted_partitions;
-  }
-  if (m.shuffle.spill_files > 0) {
-    os << " spill=pages:" << m.shuffle.pages_spilled
-       << "+bytes:" << m.shuffle.bytes_spilled
-       << "+files:" << m.shuffle.spill_files;
-  }
-  if (m.shuffle.worker_retries + m.shuffle.frames_discarded +
-          m.shuffle.deadline_kills + m.shuffle.thread_fallbacks >
-      0) {
-    os << " faults=retries:" << m.shuffle.worker_retries
-       << "+discarded:" << m.shuffle.frames_discarded
-       << "+deadline_kills:" << m.shuffle.deadline_kills
-       << "+fallbacks:" << m.shuffle.thread_fallbacks;
-  }
-  if (m.shuffle.pool_threads_spawned + m.shuffle.pool_tasks_reused > 0) {
-    os << " pool=spawned:" << m.shuffle.pool_threads_spawned
-       << "+reused:" << m.shuffle.pool_tasks_reused;
-  }
+  // Semantic fields print unconditionally, in registry order, under their
+  // registered labels — the printer is generated from the same list as the
+  // struct and operator==, so a new semantic field shows up here (and in
+  // the equality fold) the moment it is registered.
+#define SMR_METRICS_PRINT_SEMANTIC(type, name, label) \
+  os << label << '=';                                 \
+  PrintValue(os, m.name);                             \
+  os << ' ';
+#define SMR_METRICS_PRINT_DIAGNOSTIC(type, name, label)  // printed below
+  SMR_MAP_REDUCE_METRICS_FIELDS(SMR_METRICS_PRINT_SEMANTIC,
+                                SMR_METRICS_PRINT_DIAGNOSTIC)
+#undef SMR_METRICS_PRINT_SEMANTIC
+#undef SMR_METRICS_PRINT_DIAGNOSTIC
+  // Derived cost measures (ratios of semantic fields, so themselves
+  // deterministic).
+  os << "replication=" << m.ReplicationRate() << " skew=" << m.SkewRatio();
+  // Diagnostic ShuffleStats fields print zero-suppressed under their own
+  // field names, driven by the ShuffleStats registry visitor.
+  m.shuffle.ForEachField(
+      [&os](const char* name, const auto& value, MetricsFieldClass) {
+        if (IsDefault(value)) return;
+        os << ' ' << name << '=';
+        PrintValue(os, value);
+      });
   return os;
 }
 

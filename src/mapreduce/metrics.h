@@ -2,6 +2,7 @@
 #define SMR_MAPREDUCE_METRICS_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -11,90 +12,150 @@
 
 namespace smr {
 
-/// Cost measures of one map-reduce round, following Section 1.2 of the
-/// paper:
-///  * communication cost = number of key-value pairs sent from the mappers
-///    to the reducers (`key_value_pairs`; `bytes` scales it by value size);
-///  * number of reducers = number of distinct keys
-///    (`distinct_keys` counts keys that received data, `key_space` is the
-///    size of the reducer space the algorithm declared, e.g. b^3 or
-///    C(b+p-1, p));
-///  * computation cost = instrumented operation count summed over all
-///    reducers (`reduce_cost`), plus the skew indicator `max_reducer_input`.
-/// Host-side accounting of how the shuffle actually moved the data. These
-/// are observability counters for the *simulator's* scheduling (they vary
-/// with thread count and shuffle mode), not properties of the simulated
-/// round, so they are excluded from MapReduceMetrics equality.
+/// Whether a metrics field is part of the simulated round's semantics
+/// (compared by operator==, pinned by goldens, byte-identical across every
+/// thread count, shuffle mode, budget, and backend) or host-side
+/// diagnostics (observability of how the shuffle was scheduled — varies
+/// freely and is excluded from equality).
+enum class MetricsFieldClass { kSemantic, kDiagnostic };
+
+/// Field registry of ShuffleStats — the single source from which the
+/// struct's fields, the semantic-equality fold, the printer, and the test
+/// exclusion pin are all generated. Every field MUST be declared here as
+/// either SEMANTIC(type, name) or DIAGNOSTIC(type, name); a member added
+/// to the struct body directly is caught at compile time by the mirror
+/// static_assert in tests/mapreduce_test.cc, and an entry that uses any
+/// other classifier simply does not expand. All current fields are
+/// DIAGNOSTIC: they describe the *simulator's* scheduling (they vary with
+/// thread count, shuffle mode, budget, and backend), not properties of the
+/// simulated round — which is exactly why they are excluded from
+/// MapReduceMetrics equality. A field promoted to SEMANTIC automatically
+/// joins the equality fold via SemanticallyEqual below.
+#define SMR_SHUFFLE_STATS_FIELDS(SEMANTIC, DIAGNOSTIC)                     \
+  /* Partitions used by the partitioned shuffle (0 = sort shuffle). */     \
+  DIAGNOSTIC(uint64_t, partitions)                                         \
+  /* Key-value pairs in the heaviest partition (shuffle-level skew). */    \
+  DIAGNOSTIC(uint64_t, max_partition_pairs)                                \
+  /* Key-value pairs the shuffle physically moved after map-side           \
+     combining — equal to the round's `key_value_pairs` when no combiner   \
+     ran. Each map worker pre-aggregates only its own emissions, so this   \
+     depends on the worker count; that host-scheduling dependence is why   \
+     it lives here rather than in the semantic metrics. */                 \
+  DIAGNOSTIC(uint64_t, pairs_shipped)                                      \
+  /* Bytes scattered through the shuffle (keys + values, post-combine). */ \
+  DIAGNOSTIC(uint64_t, shuffle_bytes)                                      \
+  /* How the partitioned shuffle grouped its non-empty partitions:         \
+     `counting_partitions` took the O(n) counting scatter (dense key       \
+     range), `sorted_partitions` the stable_sort fallback. Both 0 for the  \
+     sort shuffle and for empty rounds. See mapreduce/group_by_key.h. */   \
+  DIAGNOSTIC(uint64_t, counting_partitions)                                \
+  DIAGNOSTIC(uint64_t, sorted_partitions)                                  \
+  /* Out-of-core accounting for budgeted rounds (ExecutionPolicy::         \
+     shuffle_budget_bytes > 0; see mapreduce/spill.h): fixed-size KV       \
+     pages written to spill files, serialized bytes spilled, and temp      \
+     files created. All zero for unbounded rounds and for budgeted rounds  \
+     whose resident volume never crossed the budget. */                    \
+  DIAGNOSTIC(uint64_t, pages_spilled)                                      \
+  DIAGNOSTIC(uint64_t, bytes_spilled)                                      \
+  DIAGNOSTIC(uint64_t, spill_files)                                        \
+  /* Process-backend accounting (BackendMode::kProcess; see                \
+     mapreduce/process_backend.h): worker processes forked for the round,  \
+     and bytes that *really* crossed the kernel socket boundary as         \
+     codec-framed records — map workers -> coordinator during the shuffle  \
+     (`map_bytes_on_wire`) and coordinator <-> reduce workers              \
+     (`reduce_bytes_on_wire`). `link_bytes_on_wire[w]` splits the map      \
+     volume per worker link. These are the measured counterpart of the     \
+     paper's `key_value_pairs x record_size` communication cost            \
+     (bench/bench_backend_comm.cc plots one against the other); all zero   \
+     under the thread backend, where no pair is ever serialized. */        \
+  DIAGNOSTIC(uint64_t, process_workers)                                    \
+  DIAGNOSTIC(uint64_t, map_bytes_on_wire)                                  \
+  DIAGNOSTIC(uint64_t, reduce_bytes_on_wire)                               \
+  DIAGNOSTIC(std::vector<uint64_t>, link_bytes_on_wire)                    \
+  /* Fault-tolerance accounting for the process backend (see               \
+     mapreduce/process_backend.h): worker attempts that failed and were    \
+     re-forked (`worker_retries`), frames decoded from a failed attempt    \
+     and discarded before the deterministic re-execution                   \
+     (`frames_discarded`), workers SIGKILLed for missing the policy's      \
+     progress deadline (`deadline_kills`), and rounds re-run on the        \
+     in-memory backend after a worker slot exhausted its retry budget      \
+     (`thread_fallbacks`, under OnExhausted::kFallbackThread). All zero    \
+     on a fault-free run — a retried round's results are byte-identical    \
+     to a fault-free run's. */                                             \
+  DIAGNOSTIC(uint64_t, worker_retries)                                     \
+  DIAGNOSTIC(uint64_t, frames_discarded)                                   \
+  DIAGNOSTIC(uint64_t, deadline_kills)                                     \
+  DIAGNOSTIC(uint64_t, thread_fallbacks)                                   \
+  /* Persistent-pool accounting for this round's parallel phases: threads  \
+     the policy's ThreadPool had to create vs worker tasks served by       \
+     already-parked threads. A multi-round job under one JobDriver spawns  \
+     only in its first parallel phase and reuses everywhere after, so      \
+     summing these over a job's rounds shows spawns << phases x workers.*/ \
+  DIAGNOSTIC(uint64_t, pool_threads_spawned)                               \
+  DIAGNOSTIC(uint64_t, pool_tasks_reused)
+
+/// Entry adapters shared by the two field registries.
+#define SMR_METRICS_DECLARE_FIELD(type, name) type name{};
+#define SMR_METRICS_COUNT_FIELD(type, name) +1
+#define SMR_METRICS_SKIP_FIELD(type, name)
+
+/// Host-side accounting of how the shuffle actually moved the data —
+/// observability counters for the *simulator's* scheduling, generated
+/// field-for-field from SMR_SHUFFLE_STATS_FIELDS (see the registry above
+/// for per-field documentation).
 struct ShuffleStats {
-  /// Partitions used by the partitioned shuffle (0 = sort shuffle).
-  uint64_t partitions = 0;
-  /// Key-value pairs in the heaviest partition (shuffle-level skew).
-  uint64_t max_partition_pairs = 0;
-  /// Key-value pairs the shuffle physically moved after map-side
-  /// combining — equal to the round's `key_value_pairs` when no combiner
-  /// ran. Each map worker pre-aggregates only its own emissions, so this
-  /// depends on the worker count; that host-scheduling dependence is why
-  /// it lives here rather than in the semantic metrics.
-  uint64_t pairs_shipped = 0;
-  /// Bytes scattered through the shuffle (keys + values, post-combine).
-  uint64_t shuffle_bytes = 0;
+  SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_DECLARE_FIELD,
+                           SMR_METRICS_DECLARE_FIELD)
 
-  /// How the partitioned shuffle grouped its non-empty partitions:
-  /// `counting_partitions` took the O(n) counting scatter (dense key
-  /// range), `sorted_partitions` the stable_sort fallback. Both 0 for the
-  /// sort shuffle and for empty rounds. See mapreduce/group_by_key.h.
-  uint64_t counting_partitions = 0;
-  uint64_t sorted_partitions = 0;
+  static constexpr std::size_t kFieldCount =
+      0 SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_COUNT_FIELD,
+                                 SMR_METRICS_COUNT_FIELD);
+  static constexpr std::size_t kSemanticFieldCount =
+      0 SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_COUNT_FIELD,
+                                 SMR_METRICS_SKIP_FIELD);
 
-  /// Out-of-core accounting for budgeted rounds (ExecutionPolicy::
-  /// shuffle_budget_bytes > 0; see mapreduce/spill.h): fixed-size KV pages
-  /// written to spill files, serialized bytes spilled, and temp files
-  /// created. All zero for unbounded rounds and for budgeted rounds whose
-  /// resident volume never crossed the budget. Like everything in
-  /// ShuffleStats these describe host scheduling, not the simulated round,
-  /// and are excluded from semantic equality.
-  uint64_t pages_spilled = 0;
-  uint64_t bytes_spilled = 0;
-  uint64_t spill_files = 0;
+  /// Calls `fn(name, field, MetricsFieldClass)` for every registered field
+  /// in registry order — the hook the generated printer and the
+  /// classification regression test iterate. The mutable overload is what
+  /// lets the test perturb every field without naming any.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define SMR_METRICS_VISIT_SEMANTIC(type, name) \
+  fn(#name, name, MetricsFieldClass::kSemantic);
+#define SMR_METRICS_VISIT_DIAGNOSTIC(type, name) \
+  fn(#name, name, MetricsFieldClass::kDiagnostic);
+    SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_VISIT_SEMANTIC,
+                             SMR_METRICS_VISIT_DIAGNOSTIC)
+#undef SMR_METRICS_VISIT_SEMANTIC
+#undef SMR_METRICS_VISIT_DIAGNOSTIC
+  }
 
-  /// Process-backend accounting (BackendMode::kProcess; see
-  /// mapreduce/process_backend.h): worker processes forked for the round,
-  /// and bytes that *really* crossed the kernel socket boundary as
-  /// codec-framed records — map workers -> coordinator during the shuffle
-  /// (`map_bytes_on_wire`) and coordinator <-> reduce workers
-  /// (`reduce_bytes_on_wire`). `link_bytes_on_wire[w]` splits the map
-  /// volume per worker link. These are the measured counterpart of the
-  /// paper's `key_value_pairs x record_size` communication cost
-  /// (bench/bench_backend_comm.cc plots one against the other); all zero
-  /// under the thread backend, where no pair is ever serialized.
-  uint64_t process_workers = 0;
-  uint64_t map_bytes_on_wire = 0;
-  uint64_t reduce_bytes_on_wire = 0;
-  std::vector<uint64_t> link_bytes_on_wire;
+  template <typename Fn>
+  void ForEachField(Fn&& fn) {
+#define SMR_METRICS_VISIT_SEMANTIC(type, name) \
+  fn(#name, name, MetricsFieldClass::kSemantic);
+#define SMR_METRICS_VISIT_DIAGNOSTIC(type, name) \
+  fn(#name, name, MetricsFieldClass::kDiagnostic);
+    SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_VISIT_SEMANTIC,
+                             SMR_METRICS_VISIT_DIAGNOSTIC)
+#undef SMR_METRICS_VISIT_SEMANTIC
+#undef SMR_METRICS_VISIT_DIAGNOSTIC
+  }
 
-  /// Fault-tolerance accounting for the process backend (see
-  /// mapreduce/process_backend.h): worker attempts that failed and were
-  /// re-forked (`worker_retries`), frames decoded from a failed attempt
-  /// and discarded before the deterministic re-execution
-  /// (`frames_discarded`), workers SIGKILLed for missing the policy's
-  /// progress deadline (`deadline_kills`), and rounds re-run on the
-  /// in-memory backend after a worker slot exhausted its retry budget
-  /// (`thread_fallbacks`, under OnExhausted::kFallbackThread). All zero
-  /// on a fault-free run; like every ShuffleStats field these describe
-  /// host scheduling and are excluded from semantic equality — a retried
-  /// round's results are byte-identical to a fault-free run's.
-  uint64_t worker_retries = 0;
-  uint64_t frames_discarded = 0;
-  uint64_t deadline_kills = 0;
-  uint64_t thread_fallbacks = 0;
-
-  /// Persistent-pool accounting for this round's parallel phases: threads
-  /// the policy's ThreadPool had to create vs worker tasks served by
-  /// already-parked threads. A multi-round job under one JobDriver spawns
-  /// only in its first parallel phase and reuses everywhere after, so
-  /// summing these over a job's rounds shows spawns << phases x workers.
-  uint64_t pool_threads_spawned = 0;
-  uint64_t pool_tasks_reused = 0;
+  /// Equality over the SEMANTIC subset of the registry — today vacuously
+  /// true (every field is diagnostic), but a field promoted to SEMANTIC
+  /// joins this fold, and through it MapReduceMetrics::operator==, with no
+  /// further edits.
+  bool SemanticallyEqual(const ShuffleStats& other) const {
+    (void)other;
+    bool equal = true;
+#define SMR_METRICS_COMPARE_SEMANTIC(type, name) \
+  equal = equal && name == other.name;
+    SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_COMPARE_SEMANTIC,
+                             SMR_METRICS_SKIP_FIELD)
+#undef SMR_METRICS_COMPARE_SEMANTIC
+    return equal;
+  }
 
   /// Max partition load over mean partition load; 1.0 is perfectly
   /// balanced. 0 when the round used the sort shuffle or moved no data.
@@ -106,16 +167,38 @@ struct ShuffleStats {
   }
 };
 
+/// Field registry of MapReduceMetrics — same contract as
+/// SMR_SHUFFLE_STATS_FIELDS, plus a print label per field (the §1.2
+/// vocabulary the round summary line uses). The SEMANTIC fields are the
+/// paper's cost measures of one map-reduce round (Section 1.2):
+///  * communication cost = key-value pairs sent from mappers to reducers
+///    (`key_value_pairs`; `bytes` scales it by value size);
+///  * number of reducers = distinct keys that received data
+///    (`distinct_keys`) against the declared reducer space (`key_space`,
+///    e.g. b^3 or C(b+p-1, p));
+///  * computation cost = instrumented operation count over all reducers
+///    (`reduce_cost`) plus the skew indicator `max_reducer_input`.
+/// The one DIAGNOSTIC field is the nested ShuffleStats aggregate, excluded
+/// from equality through its own (currently empty) semantic subset. A
+/// DIAGNOSTIC field here must be an aggregate with its own registry and
+/// SemanticallyEqual — a bare diagnostic counter belongs in ShuffleStats,
+/// and the generated operator== will not compile otherwise.
+#define SMR_MAP_REDUCE_METRICS_FIELDS(SEMANTIC, DIAGNOSTIC)                \
+  SEMANTIC(uint64_t, input_records, "inputs")                              \
+  SEMANTIC(uint64_t, key_value_pairs, "kv_pairs")                          \
+  SEMANTIC(uint64_t, bytes, "bytes")                                       \
+  SEMANTIC(uint64_t, distinct_keys, "reducers_used")                       \
+  SEMANTIC(uint64_t, key_space, "key_space")                               \
+  SEMANTIC(uint64_t, max_reducer_input, "max_reducer_input")               \
+  SEMANTIC(uint64_t, outputs, "outputs")                                   \
+  SEMANTIC(CostCounter, reduce_cost, "reduce_ops")                         \
+  DIAGNOSTIC(ShuffleStats, shuffle, "shuffle")
+
+#define SMR_METRICS_DECLARE_LABELED_FIELD(type, name, label) type name{};
+
 struct MapReduceMetrics {
-  uint64_t input_records = 0;
-  uint64_t key_value_pairs = 0;
-  uint64_t bytes = 0;
-  uint64_t distinct_keys = 0;
-  uint64_t key_space = 0;
-  uint64_t max_reducer_input = 0;
-  uint64_t outputs = 0;
-  CostCounter reduce_cost;
-  ShuffleStats shuffle;
+  SMR_MAP_REDUCE_METRICS_FIELDS(SMR_METRICS_DECLARE_LABELED_FIELD,
+                                SMR_METRICS_DECLARE_LABELED_FIELD)
 
   /// Communication cost per input record (the paper reports replication
   /// rates such as "b per edge", Section 2.3).
@@ -170,16 +253,19 @@ struct MapReduceMetrics {
   }
 
   /// Equality over the quantities of the simulated round (the paper's cost
-  /// measures). Host-side ShuffleStats are deliberately excluded: the
-  /// engine's determinism guarantee is that these fields are byte-identical
-  /// for every thread count, shuffle mode, and partition count.
+  /// measures) — generated from the field registry: SEMANTIC fields compare
+  /// directly, the DIAGNOSTIC ShuffleStats aggregate through its own
+  /// semantic subset (deliberately empty today). The engine's determinism
+  /// guarantee is that this holds for every thread count, shuffle mode,
+  /// budget, and backend.
   bool operator==(const MapReduceMetrics& other) const {
-    return input_records == other.input_records &&
-           key_value_pairs == other.key_value_pairs && bytes == other.bytes &&
-           distinct_keys == other.distinct_keys &&
-           key_space == other.key_space &&
-           max_reducer_input == other.max_reducer_input &&
-           outputs == other.outputs && reduce_cost == other.reduce_cost;
+#define SMR_METRICS_COMPARE_SEMANTIC(type, name, label) name == other.name &&
+#define SMR_METRICS_COMPARE_DIAGNOSTIC(type, name, label) \
+  name.SemanticallyEqual(other.name) &&
+    return SMR_MAP_REDUCE_METRICS_FIELDS(SMR_METRICS_COMPARE_SEMANTIC,
+                                         SMR_METRICS_COMPARE_DIAGNOSTIC) true;
+#undef SMR_METRICS_COMPARE_SEMANTIC
+#undef SMR_METRICS_COMPARE_DIAGNOSTIC
   }
 
   std::string ToString() const;

@@ -1,8 +1,10 @@
 #include "mapreduce/policy_spec.h"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/enum_registry.h"
 #include "util/parse.h"
 
 namespace smr {
@@ -11,6 +13,20 @@ namespace {
 
 [[noreturn]] void PolicyError(const std::string& message) {
   throw std::invalid_argument("policy spec: " + message);
+}
+
+/// Parses a bare enum token through its registry, so the parser's
+/// vocabulary — and its error message — can never drift from the enum
+/// definition: a newly registered mode is accepted (and listed on error)
+/// with no edits here.
+template <typename E>
+E ParseEnumSpec(std::string_view token, const char* what) {
+  const std::optional<E> value = EnumTraits<E>::FromName(token);
+  if (!value) {
+    PolicyError(std::string(what) + " must be " + EnumNameList<E>() +
+                ", got '" + std::string(token) + "'");
+  }
+  return *value;
 }
 
 }  // namespace
@@ -35,35 +51,31 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
           ? ExecutionPolicy::MaxParallel()
           : ExecutionPolicy::WithThreads(static_cast<unsigned>(*thread_count));
 
-  if (shuffle == "sort") {
-    policy = policy.WithShuffle(ShuffleMode::kSort);
-  } else if (shuffle == "partition" || shuffle.rfind("partition:", 0) == 0) {
+  // shuffle: a registered ShuffleMode name; "partition" additionally
+  // accepts an explicit :P count on top of the registry token.
+  const size_t shuffle_colon = shuffle.find(':');
+  const std::string_view shuffle_name = shuffle.substr(0, shuffle_colon);
+  if (EnumTraits<ShuffleMode>::FromName(shuffle_name) !=
+      ShuffleMode::kPartitioned) {
+    // Only "partition" takes a suffix; everything else must be a bare
+    // registered name ("sort:3" is rejected here, not silently accepted).
+    policy = policy.WithShuffle(
+        ParseEnumSpec<ShuffleMode>(shuffle, "shuffle (optionally :P)"));
+  } else {
     policy = policy.WithShuffle(ShuffleMode::kPartitioned);
-    if (shuffle != "partition") {
+    if (shuffle_colon != std::string_view::npos) {
       // Everything after "partition:" must be a valid count — a trailing
       // colon with nothing behind it is rejected, not defaulted.
-      const auto partitions = ParseInt64(shuffle.substr(10));
+      const auto partitions = ParseInt64(shuffle.substr(shuffle_colon + 1));
       if (!partitions || *partitions < 1 || *partitions > 1 << 20) {
         PolicyError("shuffle partition:P needs P >= 1, got '" +
                     std::string(shuffle) + "'");
       }
       policy = policy.WithPartitions(static_cast<unsigned>(*partitions));
     }
-  } else {
-    PolicyError("shuffle must be sort or partition[:P], got '" +
-                std::string(shuffle) + "'");
   }
 
-  if (group == "sort") {
-    policy = policy.WithGroup(GroupMode::kSort);
-  } else if (group == "counting") {
-    policy = policy.WithGroup(GroupMode::kCounting);
-  } else if (group == "auto") {
-    policy = policy.WithGroup(GroupMode::kAuto);
-  } else {
-    PolicyError("group must be sort, counting, or auto, got '" +
-                std::string(group) + "'");
-  }
+  policy = policy.WithGroup(ParseEnumSpec<GroupMode>(group, "group"));
 
   if (combine == "off") {
     policy = policy.WithCombine(false);
@@ -79,12 +91,17 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
   }
   policy = policy.WithBudget(*budget_bytes);
 
-  if (backend == "process" || backend.rfind("process:", 0) == 0) {
+  // backend: a registered BackendMode name; "process" additionally accepts
+  // an explicit :N worker count on top of the registry token.
+  const size_t backend_colon = backend.find(':');
+  const std::string_view backend_name = backend.substr(0, backend_colon);
+  if (EnumTraits<BackendMode>::FromName(backend_name) ==
+      BackendMode::kProcess) {
     unsigned workers = 0;  // 0 = num_threads
-    if (backend != "process") {
+    if (backend_colon != std::string_view::npos) {
       // Everything after "process:" must be a valid worker count — a
       // trailing colon with nothing behind it is rejected, not defaulted.
-      const auto parsed = ParseInt64(backend.substr(8));
+      const auto parsed = ParseInt64(backend.substr(backend_colon + 1));
       if (!parsed || *parsed < 1 || *parsed > 1 << 10) {
         PolicyError("backend process:N needs 1 <= N <= 1024, got '" +
                     std::string(backend) + "'");
@@ -92,9 +109,9 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
       workers = static_cast<unsigned>(*parsed);
     }
     policy = policy.WithBackend(BackendMode::kProcess, workers);
-  } else if (backend != "thread") {
-    PolicyError("backend must be thread or process[:N], got '" +
-                std::string(backend) + "'");
+  } else {
+    policy = policy.WithBackend(
+        ParseEnumSpec<BackendMode>(backend, "backend (optionally :N)"));
   }
 
   const auto retry_count = ParseInt64(retries);
@@ -117,12 +134,8 @@ ExecutionPolicy PolicyFromSpecs(std::string_view threads,
     policy = policy.WithDeadline(static_cast<uint32_t>(*deadline));
   }
 
-  if (on_exhausted == "fallback") {
-    policy = policy.WithOnExhausted(OnExhausted::kFallbackThread);
-  } else if (on_exhausted != "fail") {
-    PolicyError("on_exhausted must be fail or fallback, got '" +
-                std::string(on_exhausted) + "'");
-  }
+  policy = policy.WithOnExhausted(
+      ParseEnumSpec<OnExhausted>(on_exhausted, "on_exhausted"));
   return policy;
 }
 
@@ -133,20 +146,11 @@ std::string DescribePolicy(const ExecutionPolicy& policy) {
   if (policy.shuffle == ShuffleMode::kSort) {
     os << "sort shuffle";
   } else {
+    // Registry name tables keep this printer exhaustive: a new GroupMode
+    // is described here the moment it is registered.
     os << "partitioned shuffle (" << policy.EffectivePartitions()
-       << " partitions, ";
-    switch (policy.group) {
-      case GroupMode::kSort:
-        os << "sort";
-        break;
-      case GroupMode::kCounting:
-        os << "counting";
-        break;
-      case GroupMode::kAuto:
-        os << "auto";
-        break;
-    }
-    os << " grouping)";
+       << " partitions, " << EnumTraits<GroupMode>::Name(policy.group)
+       << " grouping)";
   }
   os << ", combine " << (policy.combine ? "on" : "off");
   if (policy.shuffle_budget_bytes > 0) {

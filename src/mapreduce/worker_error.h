@@ -4,36 +4,37 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/enum_registry.h"
+
 namespace smr {
 
 /// Why a process-backend worker attempt failed — the structured taxonomy
 /// behind every retry decision and every surfaced WorkerError. One enum for
 /// both roles; the role travels separately.
-enum class WorkerErrorKind {
-  kCrash,        ///< The child exited nonzero or died on a signal.
-  kChildError,   ///< The child reported an exception via a kError frame.
-  kDeadline,     ///< The link made no progress within the policy deadline.
-  kCorruptFrame, ///< Undecodable bytes arrived on the link.
-  kSpawnFailure, ///< socketpair/fork for the worker failed.
-  kSpillFailure, ///< The coordinator's spill store failed during the drain.
-};
+///
+/// Registry (see util/enum_registry.h): the list below is the single
+/// source for the enum definition, kCount, and the diagnostic names; a new
+/// failure mode added here is automatically named in every WorkerError
+/// message and covered by the registry round-trip tests.
+#define SMR_WORKER_ERROR_KINDS(X)                                          \
+  /* The child exited nonzero or died on a signal. */                      \
+  X(kCrash, 0, "worker-crash")                                             \
+  /* The child reported an exception via a kError frame. */                \
+  X(kChildError, 1, "child-error")                                         \
+  /* The link made no progress within the policy deadline. */              \
+  X(kDeadline, 2, "deadline")                                              \
+  /* Undecodable bytes arrived on the link. */                             \
+  X(kCorruptFrame, 3, "corrupt-frame")                                     \
+  /* socketpair/fork for the worker failed. */                             \
+  X(kSpawnFailure, 4, "spawn-failure")                                     \
+  /* The coordinator's spill store failed during the drain. */             \
+  X(kSpillFailure, 5, "spill-failure")
+
+enum class WorkerErrorKind { SMR_WORKER_ERROR_KINDS(SMR_ENUM_DEFINE_ENTRY) };
+SMR_DEFINE_ENUM_TRAITS(WorkerErrorKind, SMR_WORKER_ERROR_KINDS);
 
 inline const char* WorkerErrorKindName(WorkerErrorKind kind) {
-  switch (kind) {
-    case WorkerErrorKind::kCrash:
-      return "worker-crash";
-    case WorkerErrorKind::kChildError:
-      return "child-error";
-    case WorkerErrorKind::kDeadline:
-      return "deadline";
-    case WorkerErrorKind::kCorruptFrame:
-      return "corrupt-frame";
-    case WorkerErrorKind::kSpawnFailure:
-      return "spawn-failure";
-    case WorkerErrorKind::kSpillFailure:
-      return "spill-failure";
-  }
-  return "unknown";
+  return EnumTraits<WorkerErrorKind>::Name(kind);
 }
 
 /// The process backend's terminal failure: one worker slot kept failing

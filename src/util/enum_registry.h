@@ -1,0 +1,102 @@
+#ifndef SMR_UTIL_ENUM_REGISTRY_H_
+#define SMR_UTIL_ENUM_REGISTRY_H_
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace smr {
+
+/// Compile-time enum registries: one X-macro list per public enum is the
+/// single source of truth for the enumerator set, the underlying values,
+/// and the spec-string names. The enum definition, the name table, the
+/// value table, and `kCount` are all generated from that list, so adding
+/// an enumerator anywhere else is impossible and forgetting the name is a
+/// compile error (the entry *is* the name).
+///
+/// Convention: each enum header defines
+///
+///   #define SMR_MY_ENUM_VALUES(X) (one backslash-continued macro)
+///     /* what this value means */
+///     X(kFirst, 0, "first")
+///     X(kSecond, 1, "second")
+///
+///   enum class MyEnum { SMR_MY_ENUM_VALUES(SMR_ENUM_DEFINE_ENTRY) };
+///   SMR_DEFINE_ENUM_TRAITS(MyEnum, SMR_MY_ENUM_VALUES);
+///
+/// and call sites use EnumTraits<MyEnum>::kCount / Name() / FromName() /
+/// kValues. Parsers built on FromName and printers built on Name are
+/// exhaustive by construction: a new enumerator round-trips through every
+/// spec parser and DescribePolicy with zero call-site edits, and the
+/// registry tests iterate kValues so the round-trip is pinned for values
+/// that do not exist yet.
+template <typename E>
+struct EnumTraits;  // Specialized by SMR_DEFINE_ENUM_TRAITS only.
+
+/// Entry adapters for the per-enum list macros.
+#define SMR_ENUM_DEFINE_ENTRY(name, value, str) name = (value),
+#define SMR_ENUM_COUNT_ENTRY(name, value, str) +1
+#define SMR_ENUM_VALUE_ENTRY(name, value, str) EnumType::name,
+#define SMR_ENUM_NAME_ENTRY(name, value, str) str,
+
+#define SMR_DEFINE_ENUM_TRAITS(Enum, LIST)                                  \
+  template <>                                                               \
+  struct EnumTraits<Enum> {                                                 \
+    using EnumType = Enum;                                                  \
+    static constexpr std::size_t kCount = 0 LIST(SMR_ENUM_COUNT_ENTRY);     \
+    static constexpr std::array<Enum, kCount> kValues = {                   \
+        LIST(SMR_ENUM_VALUE_ENTRY)};                                        \
+    static constexpr std::array<const char*, kCount> kNames = {             \
+        LIST(SMR_ENUM_NAME_ENTRY)};                                         \
+    static_assert(kCount > 0, "an enum registry cannot be empty");          \
+                                                                            \
+    /* Spec-string name of a value ("unknown" for a value outside the */    \
+    /* registry, e.g. a corrupted byte cast into the enum). */              \
+    static constexpr const char* Name(Enum e) {                             \
+      for (std::size_t i = 0; i < kCount; ++i) {                            \
+        if (kValues[i] == e) return kNames[i];                              \
+      }                                                                     \
+      return "unknown";                                                     \
+    }                                                                       \
+                                                                            \
+    /* Inverse of Name: the registry is the parser's vocabulary. */         \
+    static constexpr std::optional<Enum> FromName(std::string_view name) {  \
+      for (std::size_t i = 0; i < kCount; ++i) {                            \
+        if (std::string_view(kNames[i]) == name) return kValues[i];         \
+      }                                                                     \
+      return std::nullopt;                                                  \
+    }                                                                       \
+                                                                            \
+    /* True iff `raw` is the underlying value of some enumerator — the */   \
+    /* checked cast used when a byte off the wire claims to be an enum. */  \
+    template <typename Underlying>                                          \
+    static constexpr bool IsValue(Underlying raw) {                         \
+      for (std::size_t i = 0; i < kCount; ++i) {                            \
+        if (static_cast<Underlying>(kValues[i]) == raw) return true;        \
+      }                                                                     \
+      return false;                                                         \
+    }                                                                       \
+  }
+
+/// "a, b, or c" — the registry's vocabulary, for parser error messages, so
+/// the message can never drift from what the parser accepts.
+template <typename E>
+std::string EnumNameList(std::string_view conjunction = "or") {
+  std::string out;
+  constexpr std::size_t n = EnumTraits<E>::kCount;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out += n > 2 ? ", " : " ";
+    if (i + 1 == n && n > 1) {
+      out += conjunction;
+      out += ' ';
+    }
+    out += EnumTraits<E>::kNames[i];
+  }
+  return out;
+}
+
+}  // namespace smr
+
+#endif  // SMR_UTIL_ENUM_REGISTRY_H_

@@ -120,7 +120,9 @@ TEST(RankedAdjacency, AgreesWithOrientedAdjacency) {
       // up element-for-element.
       for (size_t i = 0; i < succ_ids.size(); ++i) {
         EXPECT_EQ(order.Rank(succ_ids[i]), succ_ranks[i]);
-        if (i > 0) EXPECT_LT(succ_ranks[i - 1], succ_ranks[i]);
+        if (i > 0) {
+          EXPECT_LT(succ_ranks[i - 1], succ_ranks[i]);
+        }
       }
     }
     EXPECT_EQ(ranked.MaxOutDegree(), max_out);

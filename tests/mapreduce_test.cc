@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "mapreduce/instance_sink.h"
 #include "mapreduce/job.h"
 #include "mapreduce/metrics.h"
@@ -121,13 +123,57 @@ TEST(CollectingSink, KeysAreSortedMultiset) {
   EXPECT_EQ(keys[2], (InstanceKey{{3, 4}}));  // duplicate preserved
 }
 
-// Regression pin for the determinism contract's fine print: ShuffleStats
-// is host-side observability (it legitimately varies with thread counts,
-// shuffle modes, budgets, and backends), so mutating EVERY one of its
-// fields must leave MapReduceMetrics — and therefore JobMetrics — equal.
-// A field added to ShuffleStats without this property breaks the engine's
-// cross-policy byte-identical guarantee; a field added without extending
-// this test is caught by review of the struct/test pair.
+// The pinned classification table: every ShuffleStats field by name, with
+// the class this revision commits it to. The registry-driven test below
+// checks the live registry against this table in both directions, so
+// adding a field without deciding its class here fails the test, and the
+// mirror struct at the bottom of this file makes adding a field to the
+// struct without adding it to the registry a compile error.
+struct FieldClassPin {
+  const char* name;
+  MetricsFieldClass field_class;
+};
+constexpr FieldClassPin kShuffleStatsClassPins[] = {
+    {"partitions", MetricsFieldClass::kDiagnostic},
+    {"max_partition_pairs", MetricsFieldClass::kDiagnostic},
+    {"pairs_shipped", MetricsFieldClass::kDiagnostic},
+    {"shuffle_bytes", MetricsFieldClass::kDiagnostic},
+    {"counting_partitions", MetricsFieldClass::kDiagnostic},
+    {"sorted_partitions", MetricsFieldClass::kDiagnostic},
+    {"pages_spilled", MetricsFieldClass::kDiagnostic},
+    {"bytes_spilled", MetricsFieldClass::kDiagnostic},
+    {"spill_files", MetricsFieldClass::kDiagnostic},
+    {"process_workers", MetricsFieldClass::kDiagnostic},
+    {"map_bytes_on_wire", MetricsFieldClass::kDiagnostic},
+    {"reduce_bytes_on_wire", MetricsFieldClass::kDiagnostic},
+    {"link_bytes_on_wire", MetricsFieldClass::kDiagnostic},
+    {"worker_retries", MetricsFieldClass::kDiagnostic},
+    {"frames_discarded", MetricsFieldClass::kDiagnostic},
+    {"deadline_kills", MetricsFieldClass::kDiagnostic},
+    {"thread_fallbacks", MetricsFieldClass::kDiagnostic},
+    {"pool_threads_spawned", MetricsFieldClass::kDiagnostic},
+    {"pool_tasks_reused", MetricsFieldClass::kDiagnostic},
+};
+
+// Perturbs one registered field: bumps integers, totals, and vectors in a
+// way that is guaranteed to change the value.
+struct PerturbField {
+  uint64_t salt;
+  void operator()(uint64_t& value) const { value += salt; }
+  void operator()(CostCounter& value) const { value.candidates += salt; }
+  void operator()(std::vector<uint64_t>& value) const {
+    value.push_back(salt);
+  }
+};
+
+// Registry-driven regression pin for the determinism contract's fine
+// print: ShuffleStats is host-side observability (it legitimately varies
+// with thread counts, shuffle modes, budgets, and backends), so mutating
+// EVERY registered field — iterated via ForEachField, no field named by
+// hand — must leave MapReduceMetrics, and therefore JobMetrics, equal.
+// Each field's registered class must also match the pinned table above,
+// so promoting a field to SEMANTIC (or registering a new one) forces a
+// deliberate edit to the pin.
 TEST(Metrics, EveryShuffleStatsFieldIsExcludedFromSemanticEquality) {
   MapReduceMetrics base;
   base.input_records = 10;
@@ -135,26 +181,33 @@ TEST(Metrics, EveryShuffleStatsFieldIsExcludedFromSemanticEquality) {
   base.distinct_keys = 5;
   base.outputs = 4;
 
+  // Pin table and registry must agree in both directions.
+  ASSERT_EQ(std::size(kShuffleStatsClassPins), ShuffleStats::kFieldCount);
+  EXPECT_EQ(ShuffleStats::kSemanticFieldCount, 0u);
+  size_t index = 0;
+  base.shuffle.ForEachField([&](const char* name, const auto&,
+                                MetricsFieldClass field_class) {
+    ASSERT_LT(index, std::size(kShuffleStatsClassPins));
+    EXPECT_STREQ(name, kShuffleStatsClassPins[index].name);
+    EXPECT_EQ(field_class, kShuffleStatsClassPins[index].field_class)
+        << "field '" << name << "' changed classification — if that is "
+        << "intentional, update kShuffleStatsClassPins and the goldens "
+        << "this class change implies";
+    ++index;
+  });
+  EXPECT_EQ(index, ShuffleStats::kFieldCount);
+
+  // Mutate every registered field without naming any; diagnostic fields
+  // must not affect equality.
   MapReduceMetrics noisy = base;
-  noisy.shuffle.partitions = 7;
-  noisy.shuffle.max_partition_pairs = 11;
-  noisy.shuffle.pairs_shipped = 13;
-  noisy.shuffle.shuffle_bytes = 17;
-  noisy.shuffle.counting_partitions = 19;
-  noisy.shuffle.sorted_partitions = 23;
-  noisy.shuffle.pages_spilled = 29;
-  noisy.shuffle.bytes_spilled = 31;
-  noisy.shuffle.spill_files = 37;
-  noisy.shuffle.process_workers = 41;
-  noisy.shuffle.map_bytes_on_wire = 43;
-  noisy.shuffle.reduce_bytes_on_wire = 47;
-  noisy.shuffle.link_bytes_on_wire = {53, 59};
-  noisy.shuffle.pool_threads_spawned = 61;
-  noisy.shuffle.pool_tasks_reused = 67;
-  noisy.shuffle.worker_retries = 71;
-  noisy.shuffle.frames_discarded = 73;
-  noisy.shuffle.deadline_kills = 79;
-  noisy.shuffle.thread_fallbacks = 83;
+  uint64_t salt = 7;
+  noisy.shuffle.ForEachField([&](const char*, auto& value,
+                                 MetricsFieldClass field_class) {
+    if (field_class == MetricsFieldClass::kDiagnostic) {
+      PerturbField{salt}(value);
+      salt += 2;
+    }
+  });
   EXPECT_TRUE(noisy == base);
   EXPECT_TRUE(base == noisy);
 
@@ -184,15 +237,33 @@ TEST(Metrics, ToStringMentionsFields) {
   const std::string text = metrics.ToString();
   EXPECT_NE(text.find("kv_pairs=30"), std::string::npos);
   EXPECT_NE(text.find("replication=3"), std::string::npos);
-  // Fault counters print only when something actually went wrong.
-  EXPECT_EQ(text.find("faults="), std::string::npos);
+  // Diagnostic fields are zero-suppressed: they print (under their
+  // registered field names) only when something actually happened.
+  EXPECT_EQ(text.find("worker_retries="), std::string::npos);
+  EXPECT_EQ(text.find("deadline_kills="), std::string::npos);
   metrics.shuffle.worker_retries = 2;
   metrics.shuffle.deadline_kills = 1;
   const std::string faulty = metrics.ToString();
-  EXPECT_NE(faulty.find("faults="), std::string::npos);
-  EXPECT_NE(faulty.find("retries:2"), std::string::npos);
-  EXPECT_NE(faulty.find("deadline_kills:1"), std::string::npos);
+  EXPECT_NE(faulty.find("worker_retries=2"), std::string::npos);
+  EXPECT_NE(faulty.find("deadline_kills=1"), std::string::npos);
 }
+
+// Negative-compile guard for the field registry. This mirror expands the
+// same SMR_SHUFFLE_STATS_FIELDS list into a bare struct; if a field is
+// ever added to ShuffleStats directly (bypassing the registry, and with it
+// the classification decision, operator==, the printer, and the test
+// above), the sizes diverge and this static_assert reports it at compile
+// time. The error message one would see, demonstrated by appending
+// `uint64_t rogue_field = 0;` to the ShuffleStats body:
+//   error: static assertion failed: ShuffleStats has a field that is not
+//   in SMR_SHUFFLE_STATS_FIELDS
+struct ShuffleStatsMirror {
+  SMR_SHUFFLE_STATS_FIELDS(SMR_METRICS_DECLARE_FIELD,
+                           SMR_METRICS_DECLARE_FIELD)
+};
+static_assert(sizeof(ShuffleStatsMirror) == sizeof(ShuffleStats),
+              "ShuffleStats has a field that is not in "
+              "SMR_SHUFFLE_STATS_FIELDS");
 
 }  // namespace
 }  // namespace smr

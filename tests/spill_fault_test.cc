@@ -11,6 +11,7 @@
 //  * the default POSIX backend's own error paths (truncated read-back,
 //    creation in an unusable TMPDIR) throw with the path in the message.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -38,12 +39,14 @@ struct FaultPlan {
 };
 
 /// Shared open/close ledger: every file created must be destroyed, on
-/// every exit path.
+/// every exit path. Counters are atomic because spill files are created,
+/// written, and torn down on engine pool threads while the test thread
+/// (and other workers) observe the totals.
 struct Ledger {
-  uint64_t created = 0;
-  uint64_t destroyed = 0;
-  uint64_t appends = 0;
-  uint64_t reads = 0;
+  std::atomic<uint64_t> created{0};
+  std::atomic<uint64_t> destroyed{0};
+  std::atomic<uint64_t> appends{0};
+  std::atomic<uint64_t> reads{0};
 };
 
 /// In-memory spill file with scripted failures. Mirrors the POSIX

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -49,6 +50,28 @@ DirectedGraph TestDirectedGraph(const Graph& skeleton) {
 // ---------------------------------------------------------------------------
 // Every registered strategy matches the serial reference
 // ---------------------------------------------------------------------------
+
+// Pinned roster of the builtin strategy names, exactly as `smr_cli
+// --list-strategies` prints them. Registering a strategy means adding it
+// here (and thereby to the per-strategy coverage loops below, which
+// iterate the live registry); tools/smr_lint.py cross-checks that every
+// name registered in src/core/builtin_strategies.cc appears in this file,
+// so a strategy cannot ship without registry-test coverage.
+TEST(StrategyRegistry, RegisteredNamesArePinned) {
+  const std::vector<std::string> expected = {
+      "serial",  "bucket",        "variable", "variable-auto",
+      "partition", "multiway",    "orderedbucket", "tworound",
+      "census",  "labeled",       "directed", "auto",
+  };
+  std::vector<std::string> actual;
+  for (const Strategy* strategy : StrategyRegistry::Global().Strategies()) {
+    actual.push_back(strategy->name());
+  }
+  std::sort(actual.begin(), actual.end());
+  std::vector<std::string> sorted_expected = expected;
+  std::sort(sorted_expected.begin(), sorted_expected.end());
+  EXPECT_EQ(actual, sorted_expected);
+}
 
 TEST(StrategyRegistry, EveryStrategyMatchesSerialReferenceOnTriangle) {
   const SampleGraph pattern = SampleGraph::Triangle();

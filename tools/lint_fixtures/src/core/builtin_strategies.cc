@@ -1,0 +1,15 @@
+// Fixture: a strategy registry with one covered and one uncovered name.
+struct BuiltinStrategy {
+  BuiltinStrategy(const char*, const char*) {}
+};
+
+void FixtureRegister() {
+  // Same shape as the real registry: the name is the constructor's first
+  // string literal.
+  (void)BuiltinStrategy(
+      "covered",
+      "named in the fixture strategy_registry_test.cc, must not be flagged");
+  (void)BuiltinStrategy(
+      "ghost",
+      "seeded violation: registered but absent from the coverage test");
+}

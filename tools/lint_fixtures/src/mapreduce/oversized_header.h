@@ -1,0 +1,16 @@
+// Fixture: an engine header that blows the (self-test-scaled) budget.
+#ifndef FIXTURE_OVERSIZED_HEADER_H_
+#define FIXTURE_OVERSIZED_HEADER_H_
+inline int FixturePadding0() { return 0; }
+inline int FixturePadding1() { return 1; }
+inline int FixturePadding2() { return 2; }
+inline int FixturePadding3() { return 3; }
+inline int FixturePadding4() { return 4; }
+inline int FixturePadding5() { return 5; }
+inline int FixturePadding6() { return 6; }
+inline int FixturePadding7() { return 7; }
+inline int FixturePadding8() { return 8; }
+inline int FixturePadding9() { return 9; }
+inline int FixturePadding10() { return 10; }
+inline int FixturePadding11() { return 11; }
+#endif  // FIXTURE_OVERSIZED_HEADER_H_

@@ -1,0 +1,10 @@
+// Fixture: nondeterminism outside the whitelist. Only the live fork()
+// below may fire; the mentions of fork() in this comment block and the
+// /* fork( */ span must be stripped before matching.
+#include <unistd.h>
+
+int FixtureSpawn() {
+  /* not a real call: fork( */
+  const int pid = fork();  // seeded violation: only process_backend.cc may
+  return pid;
+}

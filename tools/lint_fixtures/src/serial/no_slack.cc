@@ -1,0 +1,14 @@
+// Fixture: an IntersectInto() caller that sizes its buffer without the
+// required slack reserve (seeded violation — naming the slack constant
+// anywhere in this file, even in a comment, would defuse the check).
+#include <cstddef>
+#include <vector>
+
+std::size_t IntersectInto(const int*, std::size_t, const int*, std::size_t,
+                          int*);
+
+std::size_t FixtureIntersect(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> out(a.size() < b.size() ? a.size() : b.size());
+  return IntersectInto(a.data(), a.size(), b.data(), b.size(), out.data());
+}

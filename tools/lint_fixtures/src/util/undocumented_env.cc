@@ -1,0 +1,9 @@
+// Fixture: an SMR_* environment knob the fixture README never documents.
+#include <cstdlib>
+
+bool FixtureKnobEnabled() {
+  // SMR_DOCUMENTED_KNOB is documented in the fixture README and must not
+  // be flagged; the other one is the seeded violation.
+  if (std::getenv("SMR_DOCUMENTED_KNOB") != nullptr) return true;
+  return std::getenv("SMR_UNDOCUMENTED_KNOB") != nullptr;
+}

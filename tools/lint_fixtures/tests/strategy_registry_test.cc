@@ -1,0 +1,2 @@
+// Fixture: the coverage test names "covered" but not the ghost strategy.
+const char* kFixtureRoster[] = {"covered"};
